@@ -1,0 +1,211 @@
+package truthroute
+
+// One benchmark per panel of the paper's evaluation (Figure 3) plus
+// the design-choice ablations called out in DESIGN.md §6. The figure
+// benchmarks run the reduced (smoke) campaign per iteration so
+// `go test -bench .` stays laptop-friendly; `cmd/unicast-sim -full`
+// regenerates the paper-scale series (recorded in EXPERIMENTS.md).
+
+import (
+	"io"
+	"math/rand/v2"
+	"testing"
+
+	"truthroute/internal/core"
+	"truthroute/internal/dist"
+	"truthroute/internal/experiment"
+	"truthroute/internal/graph"
+	"truthroute/internal/netsim"
+	"truthroute/internal/pq"
+	"truthroute/internal/sp"
+	"truthroute/internal/wireless"
+)
+
+func benchFigure(b *testing.B, id string) {
+	for i := 0; i < b.N; i++ {
+		s, err := experiment.RunFigure(id, false, 2004)
+		if err != nil {
+			b.Fatal(err)
+		}
+		s.Render(io.Discard)
+	}
+}
+
+func BenchmarkFigure3a(b *testing.B)   { benchFigure(b, "3a") }
+func BenchmarkFigure3b(b *testing.B)   { benchFigure(b, "3b") }
+func BenchmarkFigure3c(b *testing.B)   { benchFigure(b, "3c") }
+func BenchmarkFigure3d(b *testing.B)   { benchFigure(b, "3d") }
+func BenchmarkFigure3e(b *testing.B)   { benchFigure(b, "3e") }
+func BenchmarkFigure3f(b *testing.B)   { benchFigure(b, "3f") }
+func BenchmarkFigureNode(b *testing.B) { benchFigure(b, "node") }
+func BenchmarkFigureTopo(b *testing.B) { benchFigure(b, "topo") }
+func BenchmarkFigureLife(b *testing.B) { benchFigure(b, "life") }
+
+// --- Worked examples (Figures 2 and 4) as micro-benchmarks: the
+// full quote on each fixture.
+
+func BenchmarkFigure2Quote(b *testing.B) {
+	g := graph.Figure2()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.UnicastQuote(g, 1, 0, core.EngineFast); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure4Resale(b *testing.B) {
+	g := graph.Figure4()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.UnicastQuote(g, 8, 0, core.EngineFast); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Ablation A1: heap choice inside Dijkstra.
+
+func benchDijkstraHeap(b *testing.B, mk func(int) pq.Queue) {
+	rng := rand.New(rand.NewPCG(1, 0))
+	g := graph.RandomBiconnected(2048, 4.0/2048, rng)
+	g.RandomizeCosts(0.5, 5, rng)
+	old := sp.NewQueue
+	sp.NewQueue = mk
+	defer func() { sp.NewQueue = old }()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sp.NodeDijkstra(g, 0, nil)
+	}
+}
+
+func BenchmarkDijkstraBinaryHeap(b *testing.B) {
+	benchDijkstraHeap(b, func(c int) pq.Queue { return pq.NewBinary(c) })
+}
+
+func BenchmarkDijkstraPairingHeap(b *testing.B) {
+	benchDijkstraHeap(b, func(c int) pq.Queue { return pq.NewPairing(c) })
+}
+
+// --- Ablation A2: the paper's fast Algorithm 1 vs the naive
+// one-Dijkstra-per-relay payment computation. Grid topologies give
+// corner-to-corner routes with Θ(√n) relays — the regime the
+// O((n+m) log n) bound targets, since the naive method pays one full
+// Dijkstra per relay.
+
+func benchPayment(b *testing.B, side int, e core.Engine) {
+	rng := rand.New(rand.NewPCG(2, uint64(side)))
+	g := graph.Grid(side, side)
+	g.RandomizeCosts(0.5, 5, rng)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.UnicastQuote(g, 0, side*side-1, e); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPaymentNaive256(b *testing.B)  { benchPayment(b, 16, core.EngineNaive) }
+func BenchmarkPaymentFast256(b *testing.B)   { benchPayment(b, 16, core.EngineFast) }
+func BenchmarkPaymentNaive1024(b *testing.B) { benchPayment(b, 32, core.EngineNaive) }
+func BenchmarkPaymentFast1024(b *testing.B)  { benchPayment(b, 32, core.EngineFast) }
+func BenchmarkPaymentNaive4096(b *testing.B) { benchPayment(b, 64, core.EngineNaive) }
+func BenchmarkPaymentFast4096(b *testing.B)  { benchPayment(b, 64, core.EngineFast) }
+
+// --- Ablation A3: batch all-sources engine (§III.C recurrence) vs
+// per-source quotes, the choice that makes Figure 3 tractable.
+
+func BenchmarkAllSourcesBatch(b *testing.B) {
+	rng := rand.New(rand.NewPCG(3, 0))
+	g := graph.RandomBiconnected(512, 6.0/512, rng)
+	g.RandomizeCosts(0.5, 5, rng)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.AllUnicastQuotes(g, 0)
+	}
+}
+
+func BenchmarkAllSourcesPerSource(b *testing.B) {
+	rng := rand.New(rand.NewPCG(3, 0))
+	g := graph.RandomBiconnected(512, 6.0/512, rng)
+	g.RandomizeCosts(0.5, 5, rng)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for s := 1; s < g.N(); s++ {
+			if _, err := core.UnicastQuote(g, s, 0, core.EngineFast); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// --- §III.C convergence claim: full two-stage distributed protocol.
+
+func BenchmarkDistributedProtocol(b *testing.B) {
+	rng := rand.New(rand.NewPCG(4, 0))
+	g := graph.RandomBiconnected(64, 0.08, rng)
+	g.RandomizeCosts(1, 8, rng)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net := dist.NewNetwork(g, 0, nil)
+		net.RunProtocol(64 * 50)
+	}
+}
+
+// --- Edge-agent model (§II.D): Hershberger–Suri vs one Dijkstra
+// per path edge, on long-path grids.
+
+func benchEdgePayment(b *testing.B, side int, e core.Engine) {
+	rng := rand.New(rand.NewPCG(7, uint64(side)))
+	g := graph.NewEdgeWeighted(side * side)
+	id := func(r, c int) int { return r*side + c }
+	for r := 0; r < side; r++ {
+		for c := 0; c < side; c++ {
+			if c+1 < side {
+				g.AddEdge(id(r, c), id(r, c+1), 0.5+4*rng.Float64())
+			}
+			if r+1 < side {
+				g.AddEdge(id(r, c), id(r+1, c), 0.5+4*rng.Float64())
+			}
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.EdgeVCGQuote(g, 0, side*side-1, e); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEdgePaymentNaive1024(b *testing.B) { benchEdgePayment(b, 32, core.EngineNaive) }
+func BenchmarkEdgePaymentFast1024(b *testing.B)  { benchEdgePayment(b, 32, core.EngineFast) }
+func BenchmarkEdgePaymentNaive4096(b *testing.B) { benchEdgePayment(b, 64, core.EngineNaive) }
+func BenchmarkEdgePaymentFast4096(b *testing.B)  { benchEdgePayment(b, 64, core.EngineFast) }
+
+// --- Packet-level session simulation (the §I motivation study).
+
+func BenchmarkNetsimCompensated(b *testing.B) {
+	rng := rand.New(rand.NewPCG(8, 0))
+	dep := wireless.PlaceUniform(80, 1000, 320, rng)
+	lg := dep.LinkGraph(wireless.PathLoss{Kappa: 2, Unit: 100})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sim := netsim.New(lg, 0, netsim.Compensated, 1e7)
+		wl := rand.New(rand.NewPCG(9, uint64(i)))
+		sim.Run(2000, 1, wl)
+	}
+}
+
+// --- Collusion-resistant p̃: the per-quote price of defending
+// against neighbour coalitions.
+
+func BenchmarkNeighborhoodQuote(b *testing.B) {
+	rng := rand.New(rand.NewPCG(5, 0))
+	g := graph.RandomBiconnected(256, 0.05, rng)
+	g.RandomizeCosts(0.5, 5, rng)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.NeighborhoodQuote(g, 1, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

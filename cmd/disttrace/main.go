@@ -1,0 +1,26 @@
+// Command disttrace runs the paper's distributed protocol
+// (Algorithm 2, §III.C–D) on a network and prints the converged
+// routing state, the per-source payments, and any cheating
+// accusations.
+//
+// Usage:
+//
+//	disttrace [-n 30] [-p 0.2] [-seed 7] [-delay 3]   random biconnected network
+//	disttrace -fixture fig2                           the paper's Figure-2 network
+//	disttrace -adversary hider:1:4                    node 1 hides its link to node 4
+//	disttrace -adversary underpay:8:0.6               node 8 announces 60% prices
+//	disttrace -adversary impersonate:6:4              node 6 forges node 4's identity
+//	disttrace -adversary mute:3                       node 3 never transmits
+//	disttrace -signed                                 HMAC message authentication
+//	disttrace -trace                                  per-round traffic summary
+package main
+
+import (
+	"os"
+
+	"truthroute/internal/cli"
+)
+
+func main() {
+	os.Exit(cli.RunDisttrace(os.Args[1:], os.Stdout, os.Stderr))
+}

@@ -1,0 +1,23 @@
+// Command netgen generates random wireless network instances as JSON
+// for use with paytool (or any downstream tool).
+//
+// Usage:
+//
+//	netgen -n 100 [-side 2000] [-range 300] [-seed 1] [-model node|link|edge]
+//
+// Models:
+//   - node: UDG topology with uniform scalar relay costs (§II.B)
+//   - link: directed per-link power costs ‖·‖^κ (§III.F)
+//   - edge: UDG topology with the link length as the edge cost
+//     (the Nisan–Ronen edge-agent model of §II.D)
+package main
+
+import (
+	"os"
+
+	"truthroute/internal/cli"
+)
+
+func main() {
+	os.Exit(cli.RunNetgen(os.Args[1:], os.Stdout, os.Stderr))
+}

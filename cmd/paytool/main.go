@@ -1,0 +1,27 @@
+// Command paytool computes the strategyproof routing decision and
+// payments for one unicast request over a graph loaded from JSON.
+//
+// Usage:
+//
+//	paytool -graph net.json -source 5 [-dest 0] [-scheme vcg|neighborhood] [-engine fast|naive] [-json]
+//	paytool -linkgraph net.json -source 5 [-dest 0]
+//	paytool -edgegraph net.json -source 5 [-dest 0]
+//
+// Node-graph JSON: {"nodes":[c0,c1,...],"edges":[[u,v],...]}.
+// Link-graph JSON: {"n":N,"arcs":[{"from":u,"to":v,"w":c},...]}.
+// Edge-graph JSON: {"n":N,"edges":[{"u":a,"v":b,"w":c},...]}.
+//
+// It also reports monopolists (relays whose removal disconnects the
+// route) and any profitable resale deals (§III.H) the source should
+// be aware of.
+package main
+
+import (
+	"os"
+
+	"truthroute/internal/cli"
+)
+
+func main() {
+	os.Exit(cli.RunPaytool(os.Args[1:], os.Stdout, os.Stderr))
+}

@@ -1,0 +1,22 @@
+// Command unicast-sim regenerates the paper's evaluation (Figure 3):
+// the overpayment study of the truthful unicast mechanism, plus this
+// repository's extension experiments ("node", "topo").
+//
+// Usage:
+//
+//	unicast-sim [-figure 3a..3f|node|topo|life|ptilde|all] [-full] [-seed N] [-csv]
+//
+// Without -full a reduced smoke-sized campaign runs in seconds; with
+// -full the paper's exact parameters are used (node counts 100..500,
+// 100 random instances per point — several minutes of CPU).
+package main
+
+import (
+	"os"
+
+	"truthroute/internal/cli"
+)
+
+func main() {
+	os.Exit(cli.RunUnicastSim(os.Args[1:], os.Stdout, os.Stderr))
+}

@@ -1,0 +1,111 @@
+package truthroute_test
+
+import (
+	"fmt"
+
+	"truthroute"
+)
+
+// The paper's Figure-2 network: a cheap three-relay chain against a
+// single pricier relay. The mechanism routes on the chain and pays
+// each relay its declared cost plus its marginal value.
+func ExampleUnicastQuote() {
+	g := truthroute.Figure2()
+	q, err := truthroute.UnicastQuote(g, 1, 0, truthroute.EngineFast)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("path:", q.Path)
+	fmt.Println("cost:", q.Cost)
+	fmt.Println("payment to v4:", q.Payments[4])
+	fmt.Println("total:", q.Total())
+	// Output:
+	// path: [1 4 3 2 0]
+	// cost: 3
+	// payment to v4: 2
+	// total: 6
+}
+
+// The collusion-resistant scheme prices every relay against the loss
+// of its whole neighbourhood, so colluding with a neighbour cannot
+// inflate the bonus.
+func ExampleNeighborhoodQuote() {
+	g := truthroute.NewGraph(5)
+	for _, e := range [][2]int{{0, 1}, {1, 2}, {0, 3}, {3, 2}, {0, 4}, {4, 2}, {1, 3}} {
+		g.AddEdge(e[0], e[1])
+	}
+	g.SetCosts([]float64{0, 1, 0, 2, 10})
+	q, err := truthroute.NeighborhoodQuote(g, 0, 2)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("relay 1 paid:", q.Payments[1])
+	fmt.Println("off-path neighbour 3 paid:", q.Payments[3])
+	// Output:
+	// relay 1 paid: 10
+	// off-path neighbour 3 paid: 9
+}
+
+// In the §III.F model a node declares a whole vector of per-link
+// power costs; the payment covers the used link plus the node's
+// marginal value to the route.
+func ExampleLinkQuote() {
+	g := truthroute.NewLinkGraph(3)
+	g.AddArc(0, 1, 1)
+	g.AddArc(1, 2, 1)
+	g.AddArc(0, 2, 5)
+	q, err := truthroute.LinkQuote(g, 0, 2)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("path:", q.Path)
+	fmt.Println("payment to node 1:", q.Payments[1])
+	// Output:
+	// path: [0 1 2]
+	// payment to node 1: 4
+}
+
+// The Figure-4 arbitrage: v8's own quote costs 60, but routing
+// through its neighbour v4 costs only 46.5 with the savings split.
+func ExampleFindResale() {
+	deals, err := truthroute.FindResale(truthroute.Figure4(), 8, 0, truthroute.EngineFast)
+	if err != nil {
+		panic(err)
+	}
+	d := deals[0]
+	fmt.Printf("via v%d: pay %.1f instead of %.0f (v%d gains %.1f)\n",
+		d.Via, d.SourcePays(), d.DirectTotal, d.Via, d.ViaGains())
+	// Output:
+	// via v4: pay 46.5 instead of 60 (v4 gains 13.5)
+}
+
+// The Nisan–Ronen edge-agent model: each edge is paid its declared
+// cost plus the detour premium, computed with Hershberger–Suri.
+func ExampleEdgeVCGQuote() {
+	g := truthroute.NewEdgeWeighted(4)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(1, 3, 1)
+	g.AddEdge(0, 2, 2)
+	g.AddEdge(2, 3, 2)
+	q, err := truthroute.EdgeVCGQuote(g, 0, 3, truthroute.EngineFast)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("path:", q.Path)
+	fmt.Println("payment to edge {0,1}:", q.Payments[[2]int{0, 1}])
+	// Output:
+	// path: [0 1 3]
+	// payment to edge {0,1}: 3
+}
+
+// The distributed protocol computes the same payments with no
+// central authority.
+func ExampleNewNetwork() {
+	net := truthroute.NewNetwork(truthroute.Figure2(), 0, nil)
+	net.RunProtocol(200)
+	fmt.Println("v1 pays v4:", net.States()[1].Prices[4])
+	fmt.Println("accusations:", len(net.Log))
+	// Output:
+	// v1 pays v4: 2
+	// accusations: 0
+}

@@ -1,0 +1,86 @@
+// Collusion: the paper's three collusion stories on one page.
+//
+//  1. Resale-the-path (§III.H, Figure 4): a source discovers it is
+//     cheaper to hand its traffic to a neighbour than to pay its own
+//     VCG quote.
+//  2. Neighbour collusion against plain VCG (§III.E): an off-path
+//     node inflates its declared cost to boost its on-path
+//     neighbour's bonus — and the p̃ scheme that stops it.
+//  3. Monopoly pairs (Theorem 7): two nodes forming a vertex cut can
+//     always overcharge, no matter the mechanism.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"truthroute/internal/collusion"
+	"truthroute/internal/core"
+	"truthroute/internal/graph"
+	"truthroute/internal/mechanism"
+)
+
+func main() {
+	// --- 1. Resale on the paper's Figure 4 (quantities ×3).
+	g4 := graph.Figure4()
+	deals, err := collusion.FindResale(g4, 8, 0, core.EngineFast)
+	if err != nil {
+		log.Fatal(err)
+	}
+	d := deals[0]
+	fmt.Println("1. resale-the-path (Figure 4, x3 scale)")
+	fmt.Printf("   v8's own quote: %g; via v%d: obligation %g\n", d.DirectTotal, d.Via, d.ViaObligation)
+	fmt.Printf("   deal: v8 pays %g, v%d pockets %g — both strictly better off\n\n",
+		d.SourcePays(), d.Via, d.ViaGains())
+
+	// --- 2. Neighbour collusion: three 0→2 routes via 1 (cost 1),
+	// 3 (cost 2), 4 (cost 10), with relay 1 adjacent to its own
+	// replacement relay 3.
+	g := graph.NewNodeGraph(5)
+	for _, e := range [][2]int{{0, 1}, {1, 2}, {0, 3}, {3, 2}, {0, 4}, {4, 2}, {1, 3}} {
+		g.AddEdge(e[0], e[1])
+	}
+	g.SetCosts([]float64{0, 1, 0, 2, 10})
+
+	fmt.Println("2. neighbour collusion (plain VCG p vs collusion-resistant p̃)")
+	plain := mechanism.VCG(0, 2, core.EngineNaive)
+	viol, err := mechanism.VerifyPairCollusionGrid(g, 0, 2, plain, [][2]int{{1, 3}}, mechanism.OverreportGrid)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("   plain VCG: %d profitable joint over-reports, e.g. %v\n", len(viol), viol[0])
+
+	resistant := mechanism.NeighborhoodVCG(0, 2)
+	viol2, err := mechanism.VerifyPairCollusionGrid(g, 0, 2, resistant, mechanism.NeighborPairs(g), mechanism.OverreportGrid)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("   p̃ scheme:  %d profitable joint over-reports\n", len(viol2))
+	qr, err := core.NeighborhoodQuote(g, 0, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("   p̃ pays relay 1 against the whole-neighbourhood detour: %g (vs plain %g)\n",
+		qr.Payments[1], mustQuote(g, 0, 2).Payments[1])
+	fmt.Printf("   p̃ also owes off-path node 3 its positive externality: %g\n\n", qr.Payments[3])
+
+	// --- 3. Monopoly pairs.
+	fmt.Println("3. monopoly pairs (Theorem 7)")
+	diamond := graph.NewNodeGraph(4)
+	for _, e := range [][2]int{{0, 1}, {1, 3}, {0, 2}, {2, 3}} {
+		diamond.AddEdge(e[0], e[1])
+	}
+	diamond.SetCosts([]float64{0, 1, 2, 0})
+	cuts := collusion.TwoNodeCuts(diamond, 0, 3)
+	fmt.Printf("   vertex-cut pairs on the diamond: %v\n", cuts)
+	fmt.Println("   such a pair can raise both declarations in lockstep; the route must")
+	fmt.Println("   still cross one of them, so no LCP mechanism bounds their price.")
+}
+
+func mustQuote(g *graph.NodeGraph, s, t int) *core.Quote {
+	q, err := core.UnicastQuote(g, s, t, core.EngineNaive)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return q
+}

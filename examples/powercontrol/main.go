@@ -1,0 +1,62 @@
+// Powercontrol: the §III.F link-cost model. With power adjustment a
+// node's cost depends on which neighbour it transmits to (α + β·d^κ),
+// so its private type is a whole *vector* of link costs — yet the
+// VCG payment stays truthful: no scaling of any link, or of the whole
+// vector, helps.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand/v2"
+
+	"truthroute/internal/core"
+	"truthroute/internal/mechanism"
+	"truthroute/internal/wireless"
+)
+
+func main() {
+	rng := rand.New(rand.NewPCG(99, 1))
+	// Eight nodes on a line with jitter; the AP sits at one end, so
+	// routes are genuinely multi-hop.
+	dep := &wireless.Deployment{}
+	for i := 0; i < 8; i++ {
+		dep.Pos = append(dep.Pos, wireless.Point{
+			X: float64(i) * 180,
+			Y: 60 * rng.Float64(),
+		})
+		dep.Range = append(dep.Range, 420)
+	}
+	model := wireless.NewAffinePower(8, 2, 300, 500, 10, 50, rng)
+	g := dep.LinkGraph(model)
+
+	fmt.Println("per-node out-link costs (the private vector types):")
+	for i := 0; i < g.N(); i++ {
+		fmt.Printf("  node %d:", i)
+		for _, a := range g.Out(i) {
+			fmt.Printf("  ->%d %.0f", a.To, a.W)
+		}
+		fmt.Println()
+	}
+
+	src := 7
+	q, err := core.LinkQuote(g, src, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nnode %d routes to the AP along %v (total power %.0f)\n", src, q.Path, q.Cost)
+	for i, k := range q.Relays() {
+		used := g.Weight(k, q.Path[i+2])
+		fmt.Printf("  relay %d: link cost %.0f, paid %.0f (bonus %.0f)\n",
+			k, used, q.Payments[k], q.Payments[k]-used)
+	}
+
+	// Vector-type strategyproofness: scaling any out-link (or the
+	// whole vector) up or down never raises a node's utility.
+	viol, err := mechanism.VerifyLinkStrategyproof(g, src, 0, mechanism.LinkVCG(src, 0))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nvector-type lies tried per node: whole-vector and per-link scalings\n")
+	fmt.Printf("profitable lies found: %d\n", len(viol))
+}

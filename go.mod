@@ -1,0 +1,3 @@
+module truthroute
+
+go 1.22

@@ -1,0 +1,152 @@
+package truthroute
+
+// End-to-end integration: the full life of a unicast session as the
+// paper describes it. Nodes declare costs; the distributed protocol
+// (Algorithm 2) computes routes and payments with no central
+// authority; the source signs its packets; the access point verifies,
+// acknowledges and settles the per-packet payments into relay
+// accounts; and every step agrees with the centralized mechanism.
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"truthroute/internal/auth"
+	"truthroute/internal/core"
+	"truthroute/internal/dist"
+	"truthroute/internal/graph"
+	"truthroute/internal/ledger"
+	"truthroute/internal/mechanism"
+)
+
+func TestEndToEndSession(t *testing.T) {
+	rng := rand.New(rand.NewPCG(2004, 42))
+	g := graph.RandomBiconnected(20, 0.15, rng)
+	g.RandomizeCosts(1, 6, rng)
+
+	// 1. Distributed price computation (no central authority).
+	net := dist.NewNetwork(g, 0, nil)
+	s1, s2 := net.RunProtocol(5000)
+	if s1 >= 5000 || s2 >= 5000 {
+		t.Fatal("protocol did not converge")
+	}
+	if len(net.Log) != 0 {
+		t.Fatalf("honest network accused: %v", net.Log)
+	}
+
+	// 2. Pick a multi-hop source and rebuild its quote from the
+	// protocol state.
+	src := -1
+	for i, st := range net.States() {
+		if i != 0 && len(st.Path) >= 4 {
+			src = i
+			break
+		}
+	}
+	if src < 0 {
+		t.Skip("no multi-hop source in this topology")
+	}
+	st := net.States()[src]
+	q := &core.Quote{Source: src, Target: 0, Path: st.Path, Cost: st.D, Payments: st.Prices}
+
+	// 3. The distributed quote must equal the centralized mechanism.
+	want, err := core.UnicastQuote(g, src, 0, core.EngineFast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Payments) != len(want.Payments) {
+		t.Fatalf("distributed payments %v vs centralized %v", q.Payments, want.Payments)
+	}
+	for k, w := range want.Payments {
+		if d := q.Payments[k] - w; d > 1e-6 || d < -1e-6 {
+			t.Fatalf("p^%d: distributed %v centralized %v", k, q.Payments[k], w)
+		}
+	}
+
+	// 4. Every relay is individually rational under the quote.
+	for _, k := range q.Relays() {
+		if u := mechanism.Utility(q, k, g.Cost(k)); u < -1e-9 {
+			t.Fatalf("relay %d utility %v < 0", k, u)
+		}
+	}
+
+	// 5. Settle a 10-packet session at the access point.
+	keys := auth.NewKeyring(g.N())
+	book := ledger.New(keys, 0, 1000)
+	pkt := auth.NewPacket(keys[src], src, 1, 0, []byte("data"))
+	ack := auth.NewAck(keys[0], 0, src, 1, 0)
+	before := book.TotalCirculating()
+	if err := book.SettleUplink(pkt, ack, q, 10); err != nil {
+		t.Fatal(err)
+	}
+	if book.TotalCirculating() != before {
+		t.Error("settlement created or destroyed money")
+	}
+	paid := 1000 - book.Balance(src)
+	if d := paid - 10*q.Total(); d > 1e-6 || d < -1e-6 {
+		t.Errorf("source charged %v, want %v", paid, 10*q.Total())
+	}
+	for _, k := range q.Relays() {
+		if got := book.Balance(k) - 1000; got < 10*g.Cost(k) {
+			t.Errorf("relay %d earned %v, below its session cost %v", k, got, 10*g.Cost(k))
+		}
+	}
+}
+
+// TestEndToEndLiarGainsNothing runs the whole pipeline twice — once
+// with truthful declarations, once with one relay padding its cost —
+// and confirms the padder's settled earnings minus its true session
+// cost do not improve.
+func TestEndToEndLiarGainsNothing(t *testing.T) {
+	rng := rand.New(rand.NewPCG(7, 77))
+	g := graph.RandomBiconnected(16, 0.2, rng)
+	g.RandomizeCosts(1, 6, rng)
+
+	quote := func(declared *graph.NodeGraph, src int) *core.Quote {
+		q, err := core.UnicastQuote(declared, src, 0, core.EngineFast)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return q
+	}
+	// Find a source whose truthful route has a relay.
+	src, relay := -1, -1
+	for i := 1; i < g.N(); i++ {
+		q := quote(g, i)
+		if rs := q.Relays(); len(rs) > 0 {
+			src, relay = i, rs[0]
+			break
+		}
+	}
+	if src < 0 {
+		t.Skip("no relayed source")
+	}
+	settleProfit := func(declared *graph.NodeGraph) float64 {
+		q := quote(declared, src)
+		keys := auth.NewKeyring(g.N())
+		book := ledger.New(keys, 0, 10000)
+		pkt := auth.NewPacket(keys[src], src, 1, 0, nil)
+		ack := auth.NewAck(keys[0], 0, src, 1, 0)
+		if err := book.SettleUplink(pkt, ack, q, 1); err != nil {
+			t.Fatal(err)
+		}
+		earned := book.Balance(relay) - 10000
+		onPath := false
+		for _, k := range q.Relays() {
+			if k == relay {
+				onPath = true
+			}
+		}
+		if onPath {
+			earned -= g.Cost(relay) // true cost, regardless of declaration
+		}
+		return earned
+	}
+	truth := settleProfit(g)
+	for _, factor := range []float64{0, 0.5, 1.5, 3, 10} {
+		lied := settleProfit(g.WithCost(relay, g.Cost(relay)*factor))
+		if lied > truth+1e-9 {
+			t.Errorf("padding by %g raised settled profit %v -> %v", factor, truth, lied)
+		}
+	}
+}

@@ -1,0 +1,83 @@
+package auth
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestSignVerifyRoundTrip(t *testing.T) {
+	kr := NewKeyring(3)
+	p := NewPacket(kr[1], 1, 7, 42, []byte("hello"))
+	if err := Verify(kr, p); err != nil {
+		t.Fatalf("valid packet rejected: %v", err)
+	}
+}
+
+func TestVerifyRejectsTampering(t *testing.T) {
+	kr := NewKeyring(3)
+	base := NewPacket(kr[1], 1, 7, 42, []byte("hello"))
+
+	payload := base
+	payload.Payload = []byte("hullo")
+	if Verify(kr, payload) == nil {
+		t.Error("tampered payload accepted")
+	}
+	seq := base
+	seq.Seq = 43
+	if Verify(kr, seq) == nil {
+		t.Error("replayed/renumbered packet accepted")
+	}
+	src := base
+	src.Source = 2 // claim someone else initiated it
+	if Verify(kr, src) == nil {
+		t.Error("source spoofing accepted")
+	}
+	if Verify(kr, Packet{Source: 99}) == nil {
+		t.Error("unknown source accepted")
+	}
+}
+
+func TestSignaturesDifferAcrossKeysAndFields(t *testing.T) {
+	k1, k2 := NewKey(), NewKey()
+	s1 := Sign(k1, 1, 1, 1, []byte("x"))
+	s2 := Sign(k2, 1, 1, 1, []byte("x"))
+	if bytes.Equal(s1, s2) {
+		t.Error("different keys produced equal signatures")
+	}
+	s3 := Sign(k1, 1, 1, 2, []byte("x"))
+	if bytes.Equal(s1, s3) {
+		t.Error("different seq produced equal signatures")
+	}
+}
+
+func TestAckRoundTripAndForgery(t *testing.T) {
+	kr := NewKeyring(4)
+	a := NewAck(kr[0], 0, 3, 9, 5)
+	if err := VerifyAck(kr, a); err != nil {
+		t.Fatalf("valid ack rejected: %v", err)
+	}
+	// A relay cannot mint an ack with its own key.
+	forged := NewAck(kr[2], 0, 3, 9, 5)
+	if VerifyAck(kr, forged) == nil {
+		t.Error("ack forged with a relay key accepted")
+	}
+	// Acks are bound to the packet identity.
+	a.Seq = 6
+	if VerifyAck(kr, a) == nil {
+		t.Error("ack replayed for another packet accepted")
+	}
+	if VerifyAck(kr, Ack{Dest: 99}) == nil {
+		t.Error("ack from unknown destination accepted")
+	}
+}
+
+// TestAckDomainSeparation: an ack signature can never validate as a
+// packet signature even with identical fields (the "ack" domain tag).
+func TestAckDomainSeparation(t *testing.T) {
+	kr := NewKeyring(2)
+	a := NewAck(kr[0], 0, 1, 3, 4)
+	p := Packet{Source: 0, Session: 3, Seq: 4, Payload: nil, Sig: a.Sig}
+	if Verify(kr, p) == nil {
+		t.Error("ack signature accepted as packet signature")
+	}
+}

@@ -1,0 +1,151 @@
+// Package baselines implements the incentive schemes the paper
+// positions itself against (§II.D), so the benchmark harness can
+// compare them with the VCG mechanism on equal footing:
+//
+//   - FixedPrice: the nuglet counter family (Buttyán–Hubaux et al.):
+//     every relay on the chosen path earns one fixed-price nuglet per
+//     packet and the source is charged h nuglets for an h-relay path.
+//     Not individually rational (a relay whose true cost exceeds the
+//     nuglet price loses by participating) and not strategyproof
+//     (such a relay profits by overstating its cost to get off the
+//     path).
+//   - PayDeclared: the "first price" scheme — route on declared
+//     costs, pay each relay exactly its declaration. The textbook
+//     non-truthful mechanism: a relay can pad its declaration up to
+//     its replacement threshold.
+//   - GTFT: a Generous-Tit-For-Tat acceptance rule in the spirit of
+//     Srinivasan et al. [1]: nodes accept relay requests as long as
+//     the traffic they have relayed does not exceed what others have
+//     relayed for them plus a generosity slack. It exhibits the
+//     cooperative equilibrium the original paper proves, under the
+//     same stylized workload (l-hop sessions, relays drawn uniformly)
+//     that Wang & Li criticize as unrealistic.
+package baselines
+
+import (
+	"math/rand/v2"
+
+	"truthroute/internal/core"
+	"truthroute/internal/graph"
+	"truthroute/internal/mechanism"
+	"truthroute/internal/sp"
+)
+
+// FixedPrice returns the nuglet mechanism for the request s→t: the
+// least cost path is still used for routing (the most charitable
+// reading — min-hop routing is even worse), but every relay is paid
+// the same price per packet regardless of its declaration.
+func FixedPrice(s, t int, price float64) mechanism.Mechanism {
+	return func(declared *graph.NodeGraph) (*core.Quote, error) {
+		path, cost := sp.NodePath(declared, s, t)
+		if path == nil {
+			return nil, core.ErrNoPath
+		}
+		q := &core.Quote{Source: s, Target: t, Path: path, Cost: cost, Payments: map[int]float64{}}
+		for i := 1; i+1 < len(path); i++ {
+			q.Payments[path[i]] = price
+		}
+		return q, nil
+	}
+}
+
+// PayDeclared returns the first-price mechanism for the request s→t:
+// route on declared costs, pay each relay its declared cost.
+func PayDeclared(s, t int) mechanism.Mechanism {
+	return func(declared *graph.NodeGraph) (*core.Quote, error) {
+		path, cost := sp.NodePath(declared, s, t)
+		if path == nil {
+			return nil, core.ErrNoPath
+		}
+		q := &core.Quote{Source: s, Target: t, Path: path, Cost: cost, Payments: map[int]float64{}}
+		for i := 1; i+1 < len(path); i++ {
+			q.Payments[path[i]] = declared.Cost(path[i])
+		}
+		return q, nil
+	}
+}
+
+// GTFT simulates the Generous-Tit-For-Tat acceptance dynamics on the
+// stylized workload of [1]: every session has exactly L relays drawn
+// uniformly from the other nodes, and a relay accepts iff
+//
+//	relayed_i ≤ (1 + ε)·received_i + L
+//
+// where relayed_i counts packets i forwarded for others, received_i
+// counts packets others forwarded for i, ε is the generosity, and
+// the +L term covers the cold start. The *relative* slack is what
+// makes GTFT converge: random-walk imbalances grow like √T while the
+// allowance grows like ε·T, so with any ε > 0 acceptance tends to 1
+// under symmetric demand — the cooperation result of [1], under
+// exactly the uniform-relay workload Wang & Li criticize as
+// unrealistic. A session is blocked if any chosen relay refuses.
+type GTFT struct {
+	N          int
+	L          int     // relays per session
+	Generosity float64 // ε, the relative slack before refusing
+
+	relayed  []float64
+	received []float64
+	// Sessions and Blocked count attempted and refused sessions.
+	Sessions, Blocked int
+}
+
+// NewGTFT builds the dynamics for n nodes with L-relay sessions.
+func NewGTFT(n, l int, generosity float64) *GTFT {
+	return &GTFT{N: n, L: l, Generosity: generosity,
+		relayed: make([]float64, n), received: make([]float64, n)}
+}
+
+// Step attempts one session from a uniformly random source and
+// reports whether it was accepted by all its relays.
+func (g *GTFT) Step(rng *rand.Rand) bool {
+	g.Sessions++
+	src := rng.IntN(g.N)
+	relays := make([]int, 0, g.L)
+	for len(relays) < g.L {
+		r := rng.IntN(g.N)
+		if r == src {
+			continue
+		}
+		dup := false
+		for _, x := range relays {
+			if x == r {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			relays = append(relays, r)
+		}
+	}
+	for _, r := range relays {
+		if g.relayed[r] > (1+g.Generosity)*g.received[r]+float64(g.L) {
+			g.Blocked++
+			return false
+		}
+	}
+	for _, r := range relays {
+		g.relayed[r]++
+	}
+	g.received[src] += float64(g.L)
+	return true
+}
+
+// Run executes sessions attempts and returns the acceptance rate.
+func (g *GTFT) Run(sessions int, rng *rand.Rand) float64 {
+	ok := 0
+	for i := 0; i < sessions; i++ {
+		if g.Step(rng) {
+			ok++
+		}
+	}
+	return float64(ok) / float64(sessions)
+}
+
+// Throughput returns per-node accepted relay counts (a fairness
+// view: GTFT converges to near-equal contribution).
+func (g *GTFT) Throughput() []float64 {
+	out := make([]float64, g.N)
+	copy(out, g.relayed)
+	return out
+}

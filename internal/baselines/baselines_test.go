@@ -1,0 +1,135 @@
+package baselines
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"truthroute/internal/graph"
+	"truthroute/internal/mechanism"
+)
+
+// expensiveRelayGraph: two 0→3 routes, through node 1 (true cost 3)
+// and node 2 (true cost 5). With a nuglet price of 1, relaying is a
+// loss for both.
+func expensiveRelayGraph() *graph.NodeGraph {
+	g := graph.NewNodeGraph(4)
+	for _, e := range [][2]int{{0, 1}, {1, 3}, {0, 2}, {2, 3}} {
+		g.AddEdge(e[0], e[1])
+	}
+	g.SetCosts([]float64{0, 3, 5, 0})
+	return g
+}
+
+func TestFixedPriceViolatesIR(t *testing.T) {
+	g := expensiveRelayGraph()
+	m := FixedPrice(0, 3, 1)
+	bad, err := mechanism.VerifyIndividualRationality(g, 0, 3, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bad) != 1 || bad[0] != 1 {
+		t.Fatalf("IR violators = %v, want [1] (on-path relay paid 1 for cost 3)", bad)
+	}
+}
+
+func TestFixedPriceNotStrategyproof(t *testing.T) {
+	g := expensiveRelayGraph()
+	m := FixedPrice(0, 3, 1)
+	viol, err := mechanism.VerifyStrategyproof(g, 0, 3, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Node 1 profits by overstating its cost (above node 2's 5) to
+	// escape the path: utility −2 → 0.
+	found := false
+	for _, v := range viol {
+		if v.Node == 1 && v.DeclaredCost > 5 && v.LieUtility == 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("expected node 1's escape lie among %v", viol)
+	}
+}
+
+func TestPayDeclaredNotStrategyproof(t *testing.T) {
+	g := expensiveRelayGraph()
+	m := PayDeclared(0, 3)
+	viol, err := mechanism.VerifyStrategyproof(g, 0, 3, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Node 1 (cost 3) can pad towards 5 and keep the route: any
+	// declaration in (3, 5) raises its profit above 0.
+	found := false
+	for _, v := range viol {
+		if v.Node == 1 && v.DeclaredCost > 3 && v.LieUtility > 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("expected node 1's padding lie among %v", viol)
+	}
+}
+
+func TestPayDeclaredZeroProfitUnderTruth(t *testing.T) {
+	g := expensiveRelayGraph()
+	q, err := PayDeclared(0, 3)(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u := mechanism.Utility(q, 1, g.Cost(1)); u != 0 {
+		t.Errorf("truthful first-price utility = %v, want 0", u)
+	}
+}
+
+func TestFixedPriceChargesPerHop(t *testing.T) {
+	g := graph.Figure2()
+	q, err := FixedPrice(1, 0, 1)(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Total() != 3 {
+		t.Errorf("total = %v, want 3 (h = 3 relays, 1 nuglet each)", q.Total())
+	}
+	if _, err := FixedPrice(0, 2, 1)(graph.NewNodeGraph(3)); err == nil {
+		t.Error("disconnected fixed-price route accepted")
+	}
+}
+
+func TestGTFTCooperativeEquilibrium(t *testing.T) {
+	rng := rand.New(rand.NewPCG(11, 0))
+	g := NewGTFT(40, 3, 0.2)
+	rate := g.Run(20000, rng)
+	// Symmetric demand: GTFT sustains high acceptance (the [1]
+	// cooperation result under its own workload assumptions).
+	if rate < 0.80 {
+		t.Errorf("acceptance rate = %v, want >= 0.80", rate)
+	}
+	// Fairness: relayed work is balanced across nodes.
+	th := g.Throughput()
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, x := range th {
+		lo = math.Min(lo, x)
+		hi = math.Max(hi, x)
+	}
+	if lo <= 0 {
+		t.Fatal("some node never relayed")
+	}
+	if hi/lo > 1.5 {
+		t.Errorf("relay load imbalance %v/%v > 1.5", hi, lo)
+	}
+}
+
+func TestGTFTZeroGenerosityBlocks(t *testing.T) {
+	rng := rand.New(rand.NewPCG(12, 0))
+	g := NewGTFT(40, 3, 0)
+	strict := g.Run(20000, rng)
+	rng2 := rand.New(rand.NewPCG(12, 0))
+	gGen := NewGTFT(40, 3, 0.5)
+	generous := gGen.Run(20000, rng2)
+	if !(generous > strict) {
+		t.Errorf("generosity should raise acceptance: strict=%v generous=%v", strict, generous)
+	}
+}

@@ -1,0 +1,376 @@
+// Package cli implements the three command-line tools (unicast-sim,
+// paytool, disttrace) as testable functions; the cmd/ mains are thin
+// wrappers. Each Run* function parses its own flags, writes to the
+// supplied streams, and returns a process exit code.
+package cli
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand/v2"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"truthroute/internal/auth"
+	"truthroute/internal/collusion"
+	"truthroute/internal/core"
+	"truthroute/internal/dist"
+	"truthroute/internal/experiment"
+	"truthroute/internal/graph"
+)
+
+// RunUnicastSim regenerates Figure 3 panels.
+func RunUnicastSim(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("unicast-sim", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	figure := fs.String("figure", "all", "panel to regenerate: 3a..3f, node, topo, life, ptilde, or all")
+	full := fs.Bool("full", false, "use the paper's full parameters (slow)")
+	seed := fs.Uint64("seed", 2004, "random seed (runs are reproducible per seed)")
+	asCSV := fs.Bool("csv", false, "emit CSV instead of aligned tables")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	ids := experiment.FigureIDs()
+	if *figure != "all" {
+		ids = []string{*figure}
+	}
+	for _, id := range ids {
+		start := time.Now()
+		s, err := experiment.RunFigure(id, *full, *seed)
+		if err != nil {
+			fmt.Fprintln(stderr, "unicast-sim:", err)
+			return 1
+		}
+		if *asCSV {
+			if err := s.RenderCSV(stdout); err != nil {
+				fmt.Fprintln(stderr, "unicast-sim:", err)
+				return 1
+			}
+		} else {
+			s.Render(stdout)
+			fmt.Fprintf(stdout, "  (seed %d, %s, %.1fs)\n\n", *seed, simMode(*full), time.Since(start).Seconds())
+		}
+	}
+	return 0
+}
+
+func simMode(full bool) string {
+	if full {
+		return "full paper parameters"
+	}
+	return "reduced smoke parameters; pass -full for the paper's"
+}
+
+// RunPaytool computes a quote for one request over a JSON graph.
+func RunPaytool(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("paytool", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	nodePath := fs.String("graph", "", "node-weighted graph JSON file")
+	linkPath := fs.String("linkgraph", "", "link-weighted graph JSON file")
+	edgePath := fs.String("edgegraph", "", "edge-weighted graph JSON file (Nisan-Ronen edge-agent model)")
+	source := fs.Int("source", -1, "source node id")
+	dest := fs.Int("dest", 0, "destination node id (default: the access point 0)")
+	scheme := fs.String("scheme", "vcg", "payment scheme: vcg or neighborhood")
+	engine := fs.String("engine", "fast", "replacement-path engine: fast or naive")
+	asJSON := fs.Bool("json", false, "emit the quote as JSON")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	set := 0
+	for _, p := range []string{*nodePath, *linkPath, *edgePath} {
+		if p != "" {
+			set++
+		}
+	}
+	if set != 1 {
+		fmt.Fprintln(stderr, "paytool: exactly one of -graph, -linkgraph or -edgegraph is required")
+		return 2
+	}
+	if *source < 0 {
+		fmt.Fprintln(stderr, "paytool: -source is required")
+		return 2
+	}
+
+	if *edgePath != "" {
+		return runEdgePaytool(*edgePath, *source, *dest, *engine, *asJSON, stdout, stderr)
+	}
+	var q *core.Quote
+	var ng *graph.NodeGraph
+	var err error
+	if *linkPath != "" {
+		var lg *graph.LinkGraph
+		lg, err = loadLinkGraph(*linkPath)
+		if err == nil {
+			q, err = core.LinkQuote(lg, *source, *dest)
+		}
+	} else {
+		ng, err = loadNodeGraph(*nodePath)
+		if err == nil {
+			eng := core.EngineFast
+			if *engine == "naive" {
+				eng = core.EngineNaive
+			}
+			switch *scheme {
+			case "vcg":
+				q, err = core.UnicastQuote(ng, *source, *dest, eng)
+			case "neighborhood":
+				q, err = core.NeighborhoodQuote(ng, *source, *dest)
+			default:
+				fmt.Fprintln(stderr, "paytool: unknown -scheme "+*scheme)
+				return 2
+			}
+		}
+	}
+	if err != nil {
+		fmt.Fprintln(stderr, "paytool:", err)
+		return 1
+	}
+
+	if *asJSON {
+		if err := json.NewEncoder(stdout).Encode(q); err != nil {
+			fmt.Fprintln(stderr, "paytool:", err)
+			return 1
+		}
+		return 0
+	}
+	fmt.Fprintf(stdout, "least cost path: %v (cost %g)\n", q.Path, q.Cost)
+	var payees []int
+	for k := range q.Payments {
+		payees = append(payees, k)
+	}
+	sort.Ints(payees)
+	for _, k := range payees {
+		fmt.Fprintf(stdout, "  pay node %-4d %g\n", k, q.Payments[k])
+	}
+	fmt.Fprintf(stdout, "total payment: %g\n", q.Total())
+	if mono := q.Monopolists(); len(mono) > 0 {
+		fmt.Fprintf(stdout, "WARNING: monopolists %v — their payment is unbounded; the paper assumes biconnectivity\n", mono)
+	}
+	if ng != nil {
+		if deals, derr := collusion.FindResale(ng, *source, *dest, core.EngineNaive); derr == nil && len(deals) > 0 {
+			fmt.Fprintf(stdout, "resale opportunity (§III.H): route via %d, pay %g instead of %g\n",
+				deals[0].Via, deals[0].SourcePays(), deals[0].DirectTotal)
+		}
+	}
+	return 0
+}
+
+// runEdgePaytool handles the edge-agent model branch.
+func runEdgePaytool(path string, source, dest int, engine string, asJSON bool, stdout, stderr io.Writer) int {
+	f, err := os.Open(path)
+	if err != nil {
+		fmt.Fprintln(stderr, "paytool:", err)
+		return 1
+	}
+	defer f.Close()
+	ew, err := graph.ReadEdgeWeighted(f)
+	if err != nil {
+		fmt.Fprintln(stderr, "paytool:", err)
+		return 1
+	}
+	eng := core.EngineFast
+	if engine == "naive" {
+		eng = core.EngineNaive
+	}
+	q, err := core.EdgeVCGQuote(ew, source, dest, eng)
+	if err != nil {
+		fmt.Fprintln(stderr, "paytool:", err)
+		return 1
+	}
+	if asJSON {
+		if err := json.NewEncoder(stdout).Encode(q); err != nil {
+			fmt.Fprintln(stderr, "paytool:", err)
+			return 1
+		}
+		return 0
+	}
+	fmt.Fprintf(stdout, "shortest path: %v (cost %g)\n", q.Path, q.Cost)
+	for i := 0; i+1 < len(q.Path); i++ {
+		u, v := q.Path[i], q.Path[i+1]
+		key := [2]int{u, v}
+		if v < u {
+			key = [2]int{v, u}
+		}
+		fmt.Fprintf(stdout, "  pay edge {%d,%d}  %g\n", key[0], key[1], q.Payments[key])
+	}
+	fmt.Fprintf(stdout, "total payment: %g\n", q.Total())
+	if mono := q.Monopolists(); len(mono) > 0 {
+		fmt.Fprintf(stdout, "WARNING: bridge edges %v have unbounded payments\n", mono)
+	}
+	return 0
+}
+
+func loadNodeGraph(path string) (*graph.NodeGraph, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return graph.ReadNodeGraph(f)
+}
+
+func loadLinkGraph(path string) (*graph.LinkGraph, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return graph.ReadLinkGraph(f)
+}
+
+// RunDisttrace runs the distributed protocol and prints the outcome.
+func RunDisttrace(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("disttrace", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	n := fs.Int("n", 30, "nodes in the random network")
+	p := fs.Float64("p", 0.2, "chord probability of the random biconnected network")
+	seed := fs.Uint64("seed", 7, "random seed")
+	fixture := fs.String("fixture", "", "use a paper fixture instead: fig2 or fig4")
+	adversary := fs.String("adversary", "", "adversary spec: hider:NODE:HIDDEN, underpay:NODE:FACTOR, mute:NODE, impersonate:NODE:VICTIM")
+	delay := fs.Int("delay", 1, "maximum per-message delay in rounds (async when > 1)")
+	signed := fs.Bool("signed", false, "enable §III.D message signatures")
+	traced := fs.Bool("trace", false, "print a per-round traffic summary")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	var g *graph.NodeGraph
+	switch *fixture {
+	case "":
+		rng := rand.New(rand.NewPCG(*seed, 0))
+		g = graph.RandomBiconnected(*n, *p, rng)
+		g.RandomizeCosts(1, 10, rng)
+	case "fig2":
+		g = graph.Figure2()
+	case "fig4":
+		g = graph.Figure4()
+	default:
+		fmt.Fprintln(stderr, "disttrace: unknown fixture "+*fixture)
+		return 2
+	}
+
+	behaviors := make([]dist.Behavior, g.N())
+	if *adversary != "" {
+		node, b, err := ParseAdversary(*adversary)
+		if err != nil {
+			fmt.Fprintln(stderr, "disttrace:", err)
+			return 2
+		}
+		if node < 0 || node >= g.N() {
+			fmt.Fprintln(stderr, "disttrace: adversary node out of range")
+			return 2
+		}
+		behaviors[node] = b
+	}
+
+	net := dist.NewNetwork(g, 0, behaviors)
+	if *delay > 1 {
+		net.SetAsync(*delay, *seed)
+	}
+	if *signed {
+		net.EnableSigning(auth.NewKeyring(g.N()))
+	}
+	if *traced {
+		net.SetTrace(stdout)
+	}
+	s1, s2 := net.RunProtocol(200 * g.N())
+	fmt.Fprintf(stdout, "network: %d nodes, %d edges, destination 0\n", g.N(), g.M())
+	fmt.Fprintf(stdout, "stage 1 (SPT with mutual correction): %d rounds\n", s1)
+	fmt.Fprintf(stdout, "stage 2 (price relaxation with trigger verification): %d rounds\n", s2)
+	if *signed {
+		fmt.Fprintf(stdout, "signatures: enabled, %d forged messages dropped\n", net.DroppedForged)
+	}
+	fmt.Fprintln(stdout)
+	for i, st := range net.States() {
+		if i == 0 {
+			continue
+		}
+		fmt.Fprintf(stdout, "node %-3d D=%-8.4g FH=%-3d path=%v\n", i, st.D, st.FH, st.Path)
+		var ks []int
+		for k := range st.Prices {
+			ks = append(ks, k)
+		}
+		sort.Ints(ks)
+		for _, k := range ks {
+			fmt.Fprintf(stdout, "          pays %-3d %.4g\n", k, st.Prices[k])
+		}
+	}
+	if len(net.Log) == 0 {
+		fmt.Fprintln(stdout, "\nno accusations: every node followed the protocol")
+	} else {
+		fmt.Fprintln(stdout, "\naccusations:")
+		for _, a := range net.Log {
+			fmt.Fprintln(stdout, "  "+a.String())
+		}
+	}
+	return 0
+}
+
+// ParseAdversary parses a disttrace adversary spec of the form
+// hider:NODE:HIDDEN, underpay:NODE:FACTOR or mute:NODE.
+func ParseAdversary(spec string) (int, dist.Behavior, error) {
+	parts := strings.Split(spec, ":")
+	atoi := func(s string) (int, error) {
+		v, err := strconv.Atoi(s)
+		if err != nil {
+			return 0, fmt.Errorf("bad adversary spec %q: %v", spec, err)
+		}
+		return v, nil
+	}
+	switch parts[0] {
+	case "hider":
+		if len(parts) != 3 {
+			return 0, nil, fmt.Errorf("hider needs hider:NODE:HIDDEN")
+		}
+		node, err := atoi(parts[1])
+		if err != nil {
+			return 0, nil, err
+		}
+		hidden, err := atoi(parts[2])
+		if err != nil {
+			return 0, nil, err
+		}
+		return node, &dist.EdgeHider{Hidden: hidden}, nil
+	case "underpay":
+		if len(parts) != 3 {
+			return 0, nil, fmt.Errorf("underpay needs underpay:NODE:FACTOR")
+		}
+		node, err := atoi(parts[1])
+		if err != nil {
+			return 0, nil, err
+		}
+		f, err := strconv.ParseFloat(parts[2], 64)
+		if err != nil || f <= 0 || f >= 1 {
+			return 0, nil, fmt.Errorf("underpay factor must be in (0,1)")
+		}
+		return node, &dist.Underpayer{Factor: f}, nil
+	case "mute":
+		if len(parts) != 2 {
+			return 0, nil, fmt.Errorf("mute needs mute:NODE")
+		}
+		node, err := atoi(parts[1])
+		if err != nil {
+			return 0, nil, err
+		}
+		return node, &dist.Mute{}, nil
+	case "impersonate":
+		if len(parts) != 3 {
+			return 0, nil, fmt.Errorf("impersonate needs impersonate:NODE:VICTIM")
+		}
+		node, err := atoi(parts[1])
+		if err != nil {
+			return 0, nil, err
+		}
+		victim, err := atoi(parts[2])
+		if err != nil {
+			return 0, nil, err
+		}
+		return node, &dist.Impersonator{Victim: victim}, nil
+	}
+	return 0, nil, fmt.Errorf("unknown adversary %q", parts[0])
+}

@@ -1,0 +1,290 @@
+package cli
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"truthroute/internal/dist"
+	"truthroute/internal/graph"
+)
+
+func runSim(t *testing.T, args ...string) (int, string, string) {
+	t.Helper()
+	var out, errOut strings.Builder
+	code := RunUnicastSim(args, &out, &errOut)
+	return code, out.String(), errOut.String()
+}
+
+func TestUnicastSimSingleFigure(t *testing.T) {
+	code, out, _ := runSim(t, "-figure", "3a", "-seed", "1")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	if !strings.Contains(out, "Figure 3a") || !strings.Contains(out, "IOR") {
+		t.Errorf("unexpected output: %q", out)
+	}
+}
+
+func TestUnicastSimCSV(t *testing.T) {
+	code, out, _ := runSim(t, "-figure", "node", "-csv")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	if !strings.HasPrefix(out, "n,IOR,TOR") {
+		t.Errorf("csv output = %q", out)
+	}
+}
+
+func TestUnicastSimErrors(t *testing.T) {
+	if code, _, _ := runSim(t, "-figure", "nope"); code != 1 {
+		t.Errorf("unknown figure exit = %d, want 1", code)
+	}
+	if code, _, _ := runSim(t, "-bogusflag"); code != 2 {
+		t.Errorf("bad flag exit = %d, want 2", code)
+	}
+}
+
+func writeGraphFile(t *testing.T, g *graph.NodeGraph) string {
+	t.Helper()
+	data, err := json.Marshal(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "g.json")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestPaytoolNodeGraph(t *testing.T) {
+	path := writeGraphFile(t, graph.Figure2())
+	var out, errOut strings.Builder
+	code := RunPaytool([]string{"-graph", path, "-source", "1"}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut.String())
+	}
+	s := out.String()
+	if !strings.Contains(s, "least cost path: [1 4 3 2 0]") {
+		t.Errorf("missing path: %q", s)
+	}
+	if !strings.Contains(s, "total payment: 6") {
+		t.Errorf("missing total: %q", s)
+	}
+	// Figure 2 has a resale deal via v5.
+	if !strings.Contains(s, "resale opportunity") {
+		t.Errorf("missing resale warning: %q", s)
+	}
+}
+
+func TestPaytoolNeighborhoodScheme(t *testing.T) {
+	path := writeGraphFile(t, graph.Figure2())
+	var out, errOut strings.Builder
+	code := RunPaytool([]string{"-graph", path, "-source", "1", "-scheme", "neighborhood"}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "pay node") {
+		t.Errorf("no payments printed: %q", out.String())
+	}
+}
+
+func TestPaytoolLinkGraph(t *testing.T) {
+	lg := graph.NewLinkGraph(3)
+	lg.AddArc(1, 2, 1)
+	lg.AddArc(2, 0, 1)
+	lg.AddArc(1, 0, 5)
+	data, err := json.Marshal(lg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "lg.json")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out, errOut strings.Builder
+	code := RunPaytool([]string{"-linkgraph", path, "-source", "1"}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "pay node 2    4") {
+		t.Errorf("wrong link payment output: %q", out.String())
+	}
+}
+
+func TestPaytoolErrors(t *testing.T) {
+	path := writeGraphFile(t, graph.Figure2())
+	cases := [][]string{
+		{},               // neither graph flag
+		{"-graph", path}, // no source
+		{"-graph", path, "-linkgraph", path, "-source", "1"}, // both
+		{"-graph", path, "-source", "1", "-scheme", "x"},     // bad scheme
+		{"-graph", "/does/not/exist", "-source", "1"},        // missing file
+	}
+	for _, args := range cases {
+		var out, errOut strings.Builder
+		if code := RunPaytool(args, &out, &errOut); code == 0 {
+			t.Errorf("args %v: exit 0, want failure", args)
+		}
+	}
+}
+
+func TestDisttraceFixtureWithAdversary(t *testing.T) {
+	var out, errOut strings.Builder
+	code := RunDisttrace([]string{"-fixture", "fig2", "-adversary", "hider:1:4"}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "accusations:") {
+		t.Errorf("hider not reported: %q", out.String())
+	}
+	if !strings.Contains(out.String(), "node 1 accused") {
+		t.Errorf("wrong accusation: %q", out.String())
+	}
+}
+
+func TestDisttraceRandomHonest(t *testing.T) {
+	var out, errOut strings.Builder
+	code := RunDisttrace([]string{"-n", "12", "-seed", "3", "-delay", "3"}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "no accusations") {
+		t.Errorf("honest async run accused: %q", out.String())
+	}
+}
+
+func TestDisttraceErrors(t *testing.T) {
+	cases := [][]string{
+		{"-fixture", "nope"},
+		{"-adversary", "weird:1"},
+		{"-adversary", "hider:1"},
+		{"-adversary", "underpay:1:7"},
+		{"-adversary", "hider:99:4", "-fixture", "fig2"},
+		{"-adversary", "mute:xx"},
+	}
+	for _, args := range cases {
+		var out, errOut strings.Builder
+		if code := RunDisttrace(args, &out, &errOut); code == 0 {
+			t.Errorf("args %v: exit 0, want failure", args)
+		}
+	}
+}
+
+func TestParseAdversary(t *testing.T) {
+	node, b, err := ParseAdversary("underpay:3:0.5")
+	if err != nil || node != 3 {
+		t.Fatalf("underpay parse: %v %v", node, err)
+	}
+	if u, ok := b.(*dist.Underpayer); !ok || u.Factor != 0.5 {
+		t.Fatalf("underpay behavior: %#v", b)
+	}
+	if _, _, err := ParseAdversary("mute:2:extra"); err == nil {
+		t.Error("mute with extra field accepted")
+	}
+	if _, _, err := ParseAdversary("hider:a:b"); err == nil {
+		t.Error("non-numeric hider accepted")
+	}
+}
+
+func TestPaytoolEdgeGraph(t *testing.T) {
+	ew := graph.NewEdgeWeighted(4)
+	ew.AddEdge(0, 1, 1)
+	ew.AddEdge(1, 3, 1)
+	ew.AddEdge(0, 2, 2)
+	ew.AddEdge(2, 3, 2)
+	data, err := json.Marshal(ew)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "ew.json")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out, errOut strings.Builder
+	code := RunPaytool([]string{"-edgegraph", path, "-source", "3", "-dest", "0"}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut.String())
+	}
+	s := out.String()
+	if !strings.Contains(s, "total payment: 6") {
+		t.Errorf("edge quote output: %q", s)
+	}
+	if !strings.Contains(s, "pay edge {0,1}") || !strings.Contains(s, "pay edge {1,3}") {
+		t.Errorf("edge payment lines missing: %q", s)
+	}
+	// Bridge warning path.
+	bridge := graph.NewEdgeWeighted(2)
+	bridge.AddEdge(0, 1, 1)
+	data2, _ := json.Marshal(bridge)
+	path2 := filepath.Join(t.TempDir(), "b.json")
+	os.WriteFile(path2, data2, 0o644)
+	var out2, err2 strings.Builder
+	if code := RunPaytool([]string{"-edgegraph", path2, "-source", "1", "-engine", "naive"}, &out2, &err2); code != 0 {
+		t.Fatalf("bridge run exit %d", code)
+	}
+	if !strings.Contains(out2.String(), "WARNING: bridge edges") {
+		t.Errorf("missing bridge warning: %q", out2.String())
+	}
+}
+
+func TestDisttraceSignedImpersonation(t *testing.T) {
+	var out, errOut strings.Builder
+	code := RunDisttrace([]string{"-fixture", "fig2", "-adversary", "impersonate:6:4", "-signed"}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "forged messages dropped") {
+		t.Errorf("missing forged-drop report: %q", out.String())
+	}
+}
+
+func TestParseAdversaryImpersonate(t *testing.T) {
+	node, b, err := ParseAdversary("impersonate:6:4")
+	if err != nil || node != 6 {
+		t.Fatalf("parse: %v %v", node, err)
+	}
+	if im, ok := b.(*dist.Impersonator); !ok || im.Victim != 4 {
+		t.Fatalf("behavior: %#v", b)
+	}
+	if _, _, err := ParseAdversary("impersonate:6"); err == nil {
+		t.Error("short impersonate accepted")
+	}
+}
+
+func TestDisttraceTraceFlag(t *testing.T) {
+	var out, errOut strings.Builder
+	code := RunDisttrace([]string{"-fixture", "fig2", "-trace"}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "round    1:") {
+		t.Errorf("missing trace lines: %q", out.String()[:200])
+	}
+	if !strings.Contains(out.String(), "corrections") {
+		t.Error("trace format changed")
+	}
+}
+
+func TestPaytoolJSONOutput(t *testing.T) {
+	path := writeGraphFile(t, graph.Figure2())
+	var out, errOut strings.Builder
+	code := RunPaytool([]string{"-graph", path, "-source", "1", "-json"}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut.String())
+	}
+	var decoded struct {
+		Path     []int              `json:"path"`
+		Total    float64            `json:"total"`
+		Payments map[string]float64 `json:"payments"`
+	}
+	if err := json.Unmarshal([]byte(out.String()), &decoded); err != nil {
+		t.Fatalf("bad json %q: %v", out.String(), err)
+	}
+	if decoded.Total != 6 || decoded.Payments["4"] != 2 {
+		t.Errorf("decoded = %+v", decoded)
+	}
+}

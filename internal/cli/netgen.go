@@ -1,0 +1,62 @@
+package cli
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand/v2"
+
+	"truthroute/internal/graph"
+	"truthroute/internal/wireless"
+)
+
+// RunNetgen generates a random wireless instance as JSON on stdout.
+func RunNetgen(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("netgen", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	n := fs.Int("n", 100, "number of nodes (node 0 is the access point)")
+	side := fs.Float64("side", 2000, "region side in metres")
+	radio := fs.Float64("range", 300, "transmission range in metres")
+	kappa := fs.Float64("kappa", 2, "path-loss exponent for link/edge costs")
+	costLo := fs.Float64("costlo", 1, "node model: lower cost bound")
+	costHi := fs.Float64("costhi", 10, "node model: upper cost bound")
+	seed := fs.Uint64("seed", 1, "random seed")
+	model := fs.String("model", "node", "graph model: node, link, edge, or deployment (raw positions)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *n < 1 {
+		fmt.Fprintln(stderr, "netgen: -n must be positive")
+		return 2
+	}
+	rng := rand.New(rand.NewPCG(*seed, 0))
+	dep := wireless.PlaceUniform(*n, *side, *radio, rng)
+
+	var v any
+	switch *model {
+	case "node":
+		v = dep.NodeCostUDG(*costLo, *costHi, rng)
+	case "link":
+		v = dep.LinkGraph(wireless.PathLoss{Kappa: *kappa, Unit: *radio / 3})
+	case "deployment":
+		v = dep
+	case "edge":
+		udg := dep.UDG()
+		ew := graph.NewEdgeWeighted(*n)
+		loss := wireless.PathLoss{Kappa: *kappa, Unit: *radio / 3}
+		for _, e := range udg.Edges() {
+			ew.AddEdge(e[0], e[1], loss.LinkCost(e[0], dep.Pos[e[0]].Dist(dep.Pos[e[1]])))
+		}
+		v = ew
+	default:
+		fmt.Fprintln(stderr, "netgen: unknown -model "+*model)
+		return 2
+	}
+	enc := json.NewEncoder(stdout)
+	if err := enc.Encode(v); err != nil {
+		fmt.Fprintln(stderr, "netgen:", err)
+		return 1
+	}
+	return 0
+}

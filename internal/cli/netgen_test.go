@@ -1,0 +1,99 @@
+package cli
+
+import (
+	"strings"
+	"testing"
+
+	"truthroute/internal/graph"
+	"truthroute/internal/wireless"
+)
+
+func TestNetgenNodeModelPipesIntoPaytool(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := RunNetgen([]string{"-n", "40", "-side", "800", "-range", "350", "-seed", "5"}, &out, &errOut); code != 0 {
+		t.Fatalf("netgen exit: %s", errOut.String())
+	}
+	g, err := graph.ReadNodeGraph(strings.NewReader(out.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 40 {
+		t.Fatalf("N = %d", g.N())
+	}
+	for v := 0; v < g.N(); v++ {
+		if c := g.Cost(v); c < 1 || c >= 10 {
+			t.Fatalf("cost %v outside defaults", c)
+		}
+	}
+}
+
+func TestNetgenLinkAndEdgeModels(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := RunNetgen([]string{"-n", "30", "-side", "600", "-model", "link", "-seed", "2"}, &out, &errOut); code != 0 {
+		t.Fatalf("link exit: %s", errOut.String())
+	}
+	lg, err := graph.ReadLinkGraph(strings.NewReader(out.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lg.N() != 30 || lg.M() == 0 {
+		t.Fatalf("link graph %d/%d", lg.N(), lg.M())
+	}
+
+	out.Reset()
+	if code := RunNetgen([]string{"-n", "30", "-side", "600", "-model", "edge", "-seed", "2"}, &out, &errOut); code != 0 {
+		t.Fatalf("edge exit: %s", errOut.String())
+	}
+	ew, err := graph.ReadEdgeWeighted(strings.NewReader(out.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ew.N() != 30 || ew.M() == 0 {
+		t.Fatalf("edge graph %d/%d", ew.N(), ew.M())
+	}
+	// Common-range UDG symmetry: the edge graph has half as many
+	// undirected edges as the link graph has arcs.
+	if 2*ew.M() != lg.M() {
+		t.Errorf("edge/link mismatch: %d edges vs %d arcs", ew.M(), lg.M())
+	}
+}
+
+func TestNetgenDeterministic(t *testing.T) {
+	run := func() string {
+		var out, errOut strings.Builder
+		if code := RunNetgen([]string{"-n", "20", "-seed", "9"}, &out, &errOut); code != 0 {
+			t.Fatal(errOut.String())
+		}
+		return out.String()
+	}
+	if run() != run() {
+		t.Error("same seed produced different instances")
+	}
+}
+
+func TestNetgenErrors(t *testing.T) {
+	for _, args := range [][]string{
+		{"-model", "bogus"},
+		{"-n", "0"},
+		{"-badflag"},
+	} {
+		var out, errOut strings.Builder
+		if code := RunNetgen(args, &out, &errOut); code == 0 {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+}
+
+func TestNetgenDeploymentModel(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := RunNetgen([]string{"-n", "15", "-model", "deployment", "-seed", "4"}, &out, &errOut); code != 0 {
+		t.Fatalf("exit: %s", errOut.String())
+	}
+	d, err := wireless.ReadDeployment(strings.NewReader(out.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.N() != 15 {
+		t.Fatalf("N = %d", d.N())
+	}
+}

@@ -1,0 +1,50 @@
+package core
+
+import (
+	"truthroute/internal/graph"
+)
+
+// AllPairsQuotes computes a quote for every ordered (source, dest)
+// pair in a node-weighted graph: result[dest][source], with nil
+// entries on the diagonal and for unreachable pairs. This is the
+// paper's remark that the fixed-destination mechanism "is not very
+// different to generalize to arbitrary node between any pair" made
+// concrete: one §III.C batch computation per destination.
+//
+// Memory is Θ(Σ paths), so this is intended for analysis workloads
+// (e.g. network-wide overpayment studies with all-to-all traffic à la
+// Feigenbaum et al.), not per-packet use.
+func AllPairsQuotes(g *graph.NodeGraph) [][]*Quote {
+	out := make([][]*Quote, g.N())
+	for dest := 0; dest < g.N(); dest++ {
+		out[dest] = AllUnicastQuotes(g, dest)
+	}
+	return out
+}
+
+// TransitPayments aggregates, from all-pairs quotes and a traffic
+// matrix T (packets from i to j), the total payment each node earns
+// as a relay — the per-node compensation p^k of Feigenbaum et al.'s
+// all-to-all model, computed with this paper's node-weighted VCG
+// payments. Pairs whose quote is nil or contains a monopoly are
+// skipped and returned in dropped.
+func TransitPayments(quotes [][]*Quote, traffic [][]float64) (earnings []float64, dropped [][2]int) {
+	n := len(quotes)
+	earnings = make([]float64, n)
+	for dest := 0; dest < n; dest++ {
+		for src := 0; src < n; src++ {
+			if src == dest || traffic[src][dest] == 0 {
+				continue
+			}
+			q := quotes[dest][src]
+			if q == nil || len(q.Monopolists()) > 0 {
+				dropped = append(dropped, [2]int{src, dest})
+				continue
+			}
+			for k, p := range q.Payments {
+				earnings[k] += p * traffic[src][dest]
+			}
+		}
+	}
+	return earnings, dropped
+}

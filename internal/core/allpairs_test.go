@@ -1,0 +1,139 @@
+package core
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"truthroute/internal/graph"
+)
+
+func TestAllPairsQuotesMatchesPerPair(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 100))
+	g := graph.RandomBiconnected(12, 0.3, rng)
+	g.RandomizeCosts(0.5, 4, rng)
+	all := AllPairsQuotes(g)
+	for dest := 0; dest < g.N(); dest++ {
+		if all[dest][dest] != nil {
+			t.Fatalf("diagonal entry (%d,%d) not nil", dest, dest)
+		}
+		for src := 0; src < g.N(); src++ {
+			if src == dest {
+				continue
+			}
+			want, err := UnicastQuote(g, src, dest, EngineNaive)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := all[dest][src]
+			if got == nil || !almostEqual(got.Cost, want.Cost) {
+				t.Fatalf("(%d->%d): %v vs %v", src, dest, got, want)
+			}
+			for k, w := range want.Payments {
+				if !almostEqual(got.Payments[k], w) {
+					t.Fatalf("(%d->%d) p^%d: %v vs %v", src, dest, k, got.Payments[k], w)
+				}
+			}
+		}
+	}
+}
+
+func TestTransitPayments(t *testing.T) {
+	g := graph.Figure2()
+	all := AllPairsQuotes(g)
+	n := g.N()
+	traffic := make([][]float64, n)
+	for i := range traffic {
+		traffic[i] = make([]float64, n)
+	}
+	traffic[1][0] = 2 // two packets v1 → v0
+	earnings, dropped := TransitPayments(all, traffic)
+	if len(dropped) != 0 {
+		t.Fatalf("dropped %v", dropped)
+	}
+	// Relays 2,3,4 each earn 2 per packet × 2 packets.
+	for _, k := range []int{2, 3, 4} {
+		if earnings[k] != 4 {
+			t.Errorf("earnings[%d] = %v, want 4", k, earnings[k])
+		}
+	}
+	if earnings[5] != 0 {
+		t.Errorf("off-path earnings = %v, want 0", earnings[5])
+	}
+	// All-to-all uniform traffic: every node with relaying position
+	// earns something; totals are finite.
+	for i := range traffic {
+		for j := range traffic[i] {
+			if i != j {
+				traffic[i][j] = 1
+			}
+		}
+	}
+	earnings, _ = TransitPayments(all, traffic)
+	sum := 0.0
+	for _, e := range earnings {
+		sum += e
+	}
+	if sum <= 0 {
+		t.Error("uniform traffic produced no relay earnings")
+	}
+}
+
+func TestTransitPaymentsDropsMonopolies(t *testing.T) {
+	g := graph.NewNodeGraph(3)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.SetCosts([]float64{0, 1, 0})
+	all := AllPairsQuotes(g)
+	traffic := [][]float64{{0, 0, 1}, {0, 0, 0}, {1, 0, 0}}
+	earnings, dropped := TransitPayments(all, traffic)
+	if len(dropped) != 2 {
+		t.Fatalf("dropped = %v, want the two monopoly pairs", dropped)
+	}
+	if earnings[1] != 0 {
+		t.Errorf("monopolist earned %v from dropped pairs", earnings[1])
+	}
+}
+
+// TestQuickTransitPaymentsConservation: total relay earnings equal
+// the sum over served pairs of quote totals times traffic.
+func TestQuickTransitPaymentsConservation(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 101))
+		n := 4 + rng.IntN(10)
+		g := graph.RandomBiconnected(n, 0.4, rng)
+		g.RandomizeCosts(0.2, 4, rng)
+		all := AllPairsQuotes(g)
+		traffic := make([][]float64, n)
+		for i := range traffic {
+			traffic[i] = make([]float64, n)
+			for j := range traffic[i] {
+				if i != j && rng.Float64() < 0.5 {
+					traffic[i][j] = float64(1 + rng.IntN(5))
+				}
+			}
+		}
+		earnings, dropped := TransitPayments(all, traffic)
+		want := 0.0
+		droppedSet := map[[2]int]bool{}
+		for _, d := range dropped {
+			droppedSet[d] = true
+		}
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if i == j || traffic[i][j] == 0 || droppedSet[[2]int{i, j}] {
+					continue
+				}
+				want += all[j][i].Total() * traffic[i][j]
+			}
+		}
+		got := 0.0
+		for _, e := range earnings {
+			got += e
+		}
+		return almostEqual(got, want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,196 @@
+package core
+
+import (
+	"math"
+
+	"truthroute/internal/graph"
+	"truthroute/internal/sp"
+)
+
+// This file computes payments for *every* source towards one fixed
+// destination at once, using the same fixed-point recurrence the
+// distributed algorithm of §III.C iterates:
+//
+//	p_i^k = min over neighbours j ≠ k of
+//	        (k ∈ P(j,0) ? p_j^k : c_k) + c_j + c(j,0) − c(i,0)
+//
+// run centrally by value iteration. It is the natural engine for the
+// overpayment study (§III.G), which needs all n quotes per network
+// instance; one instance costs O(diameter · Σ_i |P(i,0)|·deg(i))
+// instead of n separate replacement-path computations. The results
+// are bit-compatible with UnicastQuote/LinkQuote up to float
+// associativity (see batch_test.go).
+
+// AllUnicastQuotes returns a quote towards dest for every source in
+// a node-weighted graph (entry dest is nil). Sources that cannot
+// reach dest get a nil entry. Monopoly relays yield +Inf payments,
+// exactly as in UnicastQuote.
+func AllUnicastQuotes(g *graph.NodeGraph, dest int) []*Quote {
+	n := g.N()
+	tree := sp.NodeDijkstra(g, dest, nil) // undirected: dist to dest
+	paths := make([][]int, n)             // P(i,0), source first
+	interiors := make([]map[int]bool, n)
+	for i := 0; i < n; i++ {
+		if i == dest || !tree.Reachable(i) {
+			continue
+		}
+		p := tree.PathTo(i)
+		// PathTo runs dest→i; reverse to source-first.
+		for a, b := 0, len(p)-1; a < b; a, b = a+1, b-1 {
+			p[a], p[b] = p[b], p[a]
+		}
+		paths[i] = p
+		interiors[i] = make(map[int]bool, len(p))
+		for _, k := range p[1 : len(p)-1] {
+			interiors[i][k] = true
+		}
+	}
+	// pay[i][k], initialized +Inf.
+	pay := make([]map[int]float64, n)
+	for i := 0; i < n; i++ {
+		if paths[i] == nil || len(paths[i]) <= 2 {
+			continue
+		}
+		pay[i] = make(map[int]float64, len(paths[i])-2)
+		for k := range interiors[i] {
+			pay[i][k] = math.Inf(1)
+		}
+	}
+	cost := func(v int) float64 {
+		if v == dest {
+			return 0
+		}
+		return g.Cost(v)
+	}
+	for changed := true; changed; {
+		changed = false
+		for i := 0; i < n; i++ {
+			if pay[i] == nil {
+				continue
+			}
+			di := tree.Dist[i]
+			for k := range pay[i] {
+				for _, j := range g.Neighbors(i) {
+					if j == k || (j != dest && !tree.Reachable(j)) {
+						continue
+					}
+					base := cost(j) + tree.Dist[j] - di
+					var cand float64
+					if j != dest && interiors[j][k] {
+						pjk := pay[j][k]
+						if math.IsInf(pjk, 1) {
+							continue
+						}
+						cand = pjk + base
+					} else {
+						cand = g.Cost(k) + base
+					}
+					if cand < pay[i][k]-1e-15 {
+						pay[i][k] = cand
+						changed = true
+					}
+				}
+			}
+		}
+	}
+	out := make([]*Quote, n)
+	for i := 0; i < n; i++ {
+		if paths[i] == nil {
+			continue
+		}
+		q := &Quote{Source: i, Target: dest, Path: paths[i], Cost: tree.Dist[i], Payments: map[int]float64{}}
+		for k, p := range pay[i] {
+			q.Payments[k] = p
+		}
+		out[i] = q
+	}
+	return out
+}
+
+// AllLinkQuotes is AllUnicastQuotes for the §III.F link-cost model:
+// one quote per source towards dest over a directed link-weighted
+// graph, with payments
+//
+//	p_i^k = d_{k,next} + ||P(i,0, d|^k ∞)|| − ||P(i,0,d)||.
+//
+// The recurrence runs on avoiding-costs A_i^k = ||P(i,0, d|^k ∞)||:
+//
+//	A_i^k = min over arcs i→j, j ≠ k of
+//	        w(i,j) + (k ∈ P(j,0) ? A_j^k : dist(j,0))
+func AllLinkQuotes(g *graph.LinkGraph, dest int) []*Quote {
+	n := g.N()
+	tree := sp.LinkDijkstra(g, dest, nil, true) // distances *to* dest
+	paths := make([][]int, n)
+	interiors := make([]map[int]bool, n)
+	for i := 0; i < n; i++ {
+		if i == dest || !tree.Reachable(i) {
+			continue
+		}
+		p := tree.PathTo(i)
+		for a, b := 0, len(p)-1; a < b; a, b = a+1, b-1 {
+			p[a], p[b] = p[b], p[a]
+		}
+		paths[i] = p
+		interiors[i] = make(map[int]bool, len(p))
+		for _, k := range p[1 : len(p)-1] {
+			interiors[i][k] = true
+		}
+	}
+	avoid := make([]map[int]float64, n) // A_i^k
+	for i := 0; i < n; i++ {
+		if paths[i] == nil || len(paths[i]) <= 2 {
+			continue
+		}
+		avoid[i] = make(map[int]float64, len(paths[i])-2)
+		for k := range interiors[i] {
+			avoid[i][k] = math.Inf(1)
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for i := 0; i < n; i++ {
+			if avoid[i] == nil {
+				continue
+			}
+			for k := range avoid[i] {
+				for _, a := range g.Out(i) {
+					j := a.To
+					if j == k || a.W >= graph.Inf {
+						continue
+					}
+					var tail float64
+					if j == dest {
+						tail = 0
+					} else if !tree.Reachable(j) {
+						continue
+					} else if interiors[j][k] {
+						tail = avoid[j][k]
+						if math.IsInf(tail, 1) {
+							continue
+						}
+					} else {
+						tail = tree.Dist[j]
+					}
+					if cand := a.W + tail; cand < avoid[i][k]-1e-15 {
+						avoid[i][k] = cand
+						changed = true
+					}
+				}
+			}
+		}
+	}
+	out := make([]*Quote, n)
+	for i := 0; i < n; i++ {
+		if paths[i] == nil {
+			continue
+		}
+		p := paths[i]
+		q := &Quote{Source: i, Target: dest, Path: p, Cost: tree.Dist[i], Payments: map[int]float64{}}
+		for idx := 1; idx+1 < len(p); idx++ {
+			k := p[idx]
+			q.Payments[k] = g.Weight(k, p[idx+1]) + (avoid[i][k] - q.Cost)
+		}
+		out[i] = q
+	}
+	return out
+}

@@ -1,0 +1,150 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"truthroute/internal/graph"
+)
+
+// parallelChains builds K internally-disjoint s-t chains; chain i has
+// Len[i] relays, each of cost Cost[i]. s = 0, t = 1; relays are
+// numbered 2, 3, ... chain by chain. Returns the graph and the relay
+// ids of each chain.
+func parallelChains(lens []int, costs []float64) (*graph.NodeGraph, [][]int) {
+	n := 2
+	for _, l := range lens {
+		n += l
+	}
+	g := graph.NewNodeGraph(n)
+	chains := make([][]int, len(lens))
+	next := 2
+	for i, l := range lens {
+		prev := 0
+		for j := 0; j < l; j++ {
+			g.AddEdge(prev, next)
+			g.SetCost(next, costs[i])
+			chains[i] = append(chains[i], next)
+			prev = next
+			next++
+		}
+		g.AddEdge(prev, 1)
+	}
+	return g, chains
+}
+
+// TestParallelChainsClosedForm checks the VCG payment against its
+// closed form on parallel chains: with cheapest chain total C1 and
+// second-cheapest C2, every relay on the winning chain is paid
+// c + (C2 − C1), so the source's total is C1 + len·(C2 − C1).
+func TestParallelChainsClosedForm(t *testing.T) {
+	cases := []struct {
+		name  string
+		lens  []int
+		costs []float64
+	}{
+		{"two-even", []int{3, 3}, []float64{1, 2}},
+		{"short-vs-long", []int{2, 5}, []float64{3, 1}},
+		{"three-chains", []int{4, 2, 3}, []float64{1, 3, 2}},
+		{"near-tie", []int{3, 3}, []float64{1, 1.001}},
+		{"single-relay", []int{1, 1}, []float64{2, 7}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			g, chains := parallelChains(c.lens, c.costs)
+			// Closed-form: chain totals, winner, runner-up.
+			totals := make([]float64, len(c.lens))
+			for i := range totals {
+				totals[i] = float64(c.lens[i]) * c.costs[i]
+			}
+			best, second := -1, -1
+			for i, tot := range totals {
+				if best < 0 || tot < totals[best] {
+					second = best
+					best = i
+				} else if second < 0 || tot < totals[second] {
+					second = i
+				}
+			}
+			bonus := totals[second] - totals[best]
+			for name, e := range engines {
+				q, err := UnicastQuote(g, 0, 1, e)
+				if err != nil {
+					t.Fatalf("%s: %v", name, err)
+				}
+				if !almostEqual(q.Cost, totals[best]) {
+					t.Fatalf("%s: cost %v, want %v", name, q.Cost, totals[best])
+				}
+				for _, relay := range chains[best] {
+					want := c.costs[best] + bonus
+					if !almostEqual(q.Payments[relay], want) {
+						t.Errorf("%s: relay %d paid %v, want %v", name, relay, q.Payments[relay], want)
+					}
+				}
+				wantTotal := totals[best] + float64(c.lens[best])*bonus
+				if !almostEqual(q.Total(), wantTotal) {
+					t.Errorf("%s: total %v, want %v", name, q.Total(), wantTotal)
+				}
+			}
+		})
+	}
+}
+
+// TestThetaGraphClosedForm: a theta graph where the detour shares a
+// prefix with the winning path — the replacement for early relays
+// differs from the one for late relays.
+func TestThetaGraphClosedForm(t *testing.T) {
+	// s=0, t=1. Winning path 0-2-3-1 (costs 1,1). Node 4 bridges
+	// 2→1 directly at cost 3: removing 3 uses 0-2-4-1 (cost 1+3=4);
+	// removing 2 must use the long disjoint chain 0-5-6-1 (cost 5).
+	g := graph.NewNodeGraph(7)
+	for _, e := range [][2]int{{0, 2}, {2, 3}, {3, 1}, {2, 4}, {4, 1}, {0, 5}, {5, 6}, {6, 1}} {
+		g.AddEdge(e[0], e[1])
+	}
+	g.SetCosts([]float64{0, 0, 1, 1, 3, 2.5, 2.5})
+	for name, e := range engines {
+		q, err := UnicastQuote(g, 0, 1, e)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if q.Cost != 2 {
+			t.Fatalf("%s: cost %v, want 2", name, q.Cost)
+		}
+		// p^3 = ||0-2-4-1|| − 2 + 1 = 4 − 2 + 1 = 3.
+		if !almostEqual(q.Payments[3], 3) {
+			t.Errorf("%s: p^3 = %v, want 3", name, q.Payments[3])
+		}
+		// p^2 = ||0-5-6-1|| − 2 + 1 = 5 − 2 + 1 = 4.
+		if !almostEqual(q.Payments[2], 4) {
+			t.Errorf("%s: p^2 = %v, want 4", name, q.Payments[2])
+		}
+	}
+}
+
+// TestGridCornerPaymentsSymmetric: on a uniform-cost square grid with
+// symmetric endpoints, symmetric relays must receive symmetric
+// payments (a structural sanity property of the fast engine's level
+// machinery). Uniform costs create massive shortest-path ties, so
+// this intentionally stresses the documented tie caveat via the
+// *naive* engine only.
+func TestGridCornerPaymentsSymmetric(t *testing.T) {
+	g := graph.Grid(3, 3)
+	for v := 0; v < 9; v++ {
+		g.SetCost(v, 1)
+	}
+	q, err := UnicastQuote(g, 0, 8, EngineNaive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Cost != 3 {
+		t.Fatalf("cost = %v, want 3 (three interior relays)", q.Cost)
+	}
+	for _, k := range q.Relays() {
+		if math.IsInf(q.Payments[k], 1) {
+			t.Fatalf("grid relay %d priced as monopoly", k)
+		}
+		if q.Payments[k] < 1 {
+			t.Errorf("relay %d paid %v < cost", k, q.Payments[k])
+		}
+	}
+}

@@ -1,0 +1,287 @@
+package core
+
+import (
+	"math"
+	"sort"
+
+	"truthroute/internal/graph"
+	"truthroute/internal/sp"
+)
+
+// replacementCostsFast is the paper's Algorithm 1 (§III.B): it
+// computes ||P_-vk(s,t,d)|| for every interior node v_k of the least
+// cost path in O((n+m) log n) total, instead of one Dijkstra per
+// relay. It adapts Hershberger–Suri replacement paths to
+// node-weighted graphs via "levels" on the shortest path tree.
+//
+// Sketch (notation follows the paper):
+//
+//   - P = r_0 r_1 ... r_σ is the s-t path in SPT(s); pos[r_l] = l.
+//   - level(v) = index of the last path node on the SPT(s) tree path
+//     from s to v; every node hangs off exactly one "bush" B_l.
+//   - A replacement path avoiding r_l crosses exactly once from the
+//     {level < l} region to the {level ≥ l} region (Lemma 1). Its
+//     prefix may be taken along SPT(s) (cost L(a)); its suffix from
+//     the crossing head b is R(b) = dist(b,t) when level(b) > l
+//     (feasible by Lemma 2) or R^{-l}(b) = dist(b,t) in G∖r_l when
+//     level(b) = l (computed per bush by a boundary-initialized
+//     Dijkstra that never descends below level l, justified by
+//     Lemma 3).
+//   - Candidates with level(b) > l are minimized over all l at once
+//     with a heap of crossing edges keyed by
+//     L(a)+c_a+c_b+R(b), each edge valid for l in
+//     (level(a), level(b)) (the paper's step 5).
+//
+// Requires strictly positive interior costs for the lemmas'
+// strict-inequality arguments (standard unique-shortest-path
+// assumption); fast_test.go property-tests it against the naive
+// engine.
+func replacementCostsFast(g *graph.NodeGraph, s, t int, treeS *sp.Tree) map[int]float64 {
+	path := treeS.PathTo(t)
+	if len(path) <= 2 {
+		return map[int]float64{}
+	}
+	sigma := len(path) - 1 // t = r_sigma
+	n := g.N()
+
+	treeT := sp.NodeDijkstra(g, t, nil)
+	L := treeS.Dist // L(v): interior cost s→v, endpoints excluded
+	R := treeT.Dist // R(v): interior cost v→t, endpoints excluded
+
+	// pos[v] = index on the path, or -1.
+	pos := make([]int, n)
+	for i := range pos {
+		pos[i] = -1
+	}
+	for i, v := range path {
+		pos[v] = i
+	}
+
+	// level(v): last path node index on the SPT(s) root path to v.
+	// Parents settle before children in Dijkstra order, so one pass
+	// over the settle order suffices. Unreachable nodes keep -1 and
+	// never participate.
+	level := make([]int, n)
+	for i := range level {
+		level[i] = -1
+	}
+	for _, v := range treeS.Order {
+		if pos[v] >= 0 {
+			level[v] = pos[v]
+		} else if p := treeS.Parent[v]; p >= 0 {
+			level[v] = level[p]
+		} else { // v == s handled by pos; other roots unreachable
+			level[v] = 0
+		}
+	}
+
+	// prefixCost(a) = cost of reaching a from s and then relaying
+	// through a: L(a) + c_a, except the source relays nothing.
+	prefixCost := func(a int) float64 {
+		if a == s {
+			return 0
+		}
+		return L[a] + g.Cost(a)
+	}
+	// suffixCost(b) = cost of entering b and continuing to t along
+	// an unconstrained shortest path: c_b + R(b), except b == t.
+	suffixCost := func(b int) float64 {
+		if b == t {
+			return 0
+		}
+		return g.Cost(b) + R[b]
+	}
+
+	// --- Step 3: R^{-l}(b) for every bush node b (level(b) = l,
+	// b ≠ r_l): distance from b to t in G∖r_l, never descending to
+	// levels < l. Computed bush by bush with a boundary-initialized
+	// Dijkstra; each node and edge is touched O(1) times overall.
+	bush := make([][]int, sigma+1)
+	for v := 0; v < n; v++ {
+		if l := level[v]; l >= 0 && pos[v] < 0 {
+			bush[l] = append(bush[l], v)
+		}
+	}
+	rAvoid := make([]float64, n) // R^{-level(v)}(v) for bush nodes
+	for i := range rAvoid {
+		rAvoid[i] = math.Inf(1)
+	}
+	for l := 1; l < sigma; l++ {
+		members := bush[l]
+		if len(members) == 0 {
+			continue
+		}
+		rl := path[l]
+		q := sp.NewQueue(n)
+		for _, b := range members {
+			best := math.Inf(1)
+			for _, x := range g.Neighbors(b) {
+				if x == rl || level[x] < 0 {
+					continue
+				}
+				if level[x] > l { // exit to the high region
+					if c := suffixCost(x); c < best {
+						best = c
+					}
+				}
+			}
+			rAvoid[b] = best
+			if !math.IsInf(best, 1) {
+				q.Push(b, best)
+			}
+		}
+		inBush := make(map[int]bool, len(members))
+		for _, b := range members {
+			inBush[b] = true
+		}
+		done := make(map[int]bool, len(members))
+		for q.Len() > 0 {
+			x, dx := q.Pop()
+			if done[x] {
+				continue
+			}
+			done[x] = true
+			rAvoid[x] = dx
+			// Travelling from neighbour b through x costs c_x extra.
+			for _, b := range g.Neighbors(x) {
+				if !inBush[b] || done[b] {
+					continue
+				}
+				nd := dx + g.Cost(x)
+				if nd < rAvoid[b] {
+					rAvoid[b] = nd
+					if q.Contains(b) {
+						q.DecreaseKey(b, nd)
+					} else {
+						q.Push(b, nd)
+					}
+				}
+			}
+		}
+	}
+
+	// --- Step 4: c^{-l} = best candidate whose crossing edge lands
+	// in bush l itself: min over edges (a,b), level(a) < l = level(b)
+	// of prefixCost(a) + c_b + R^{-l}(b).
+	cAvoid := make([]float64, sigma) // indexed by l; [0] unused
+	for i := range cAvoid {
+		cAvoid[i] = math.Inf(1)
+	}
+	for l := 1; l < sigma; l++ {
+		for _, b := range bush[l] {
+			if math.IsInf(rAvoid[b], 1) {
+				continue
+			}
+			enter := g.Cost(b) + rAvoid[b]
+			for _, a := range g.Neighbors(b) {
+				if level[a] < 0 || level[a] >= l {
+					continue
+				}
+				if cand := prefixCost(a) + enter; cand < cAvoid[l] {
+					cAvoid[l] = cand
+				}
+			}
+		}
+	}
+
+	// --- Step 5: candidates whose crossing edge jumps clean over
+	// the bush: edges (a,b) with level(a) < l < level(b), keyed by
+	// prefixCost(a) + suffixCost(b), valid for l in
+	// (level(a), level(b)). Sweep l upward with a lazily-expired
+	// min-heap.
+	var edges []crossEdge
+	for u := 0; u < n; u++ {
+		if level[u] < 0 {
+			continue
+		}
+		for _, v := range g.Neighbors(u) {
+			if v < u || level[v] < 0 || level[u] == level[v] {
+				continue
+			}
+			a, b := u, v
+			if level[a] > level[b] {
+				a, b = b, a
+			}
+			if level[b]-level[a] < 2 {
+				continue // no l strictly between
+			}
+			edges = append(edges, crossEdge{
+				key: prefixCost(a) + suffixCost(b),
+				lo:  level[a], hi: level[b],
+			})
+		}
+	}
+	sort.Slice(edges, func(i, j int) bool { return edges[i].lo < edges[j].lo })
+
+	out := make(map[int]float64, sigma-1)
+	heap := crossHeap{}
+	next := 0
+	for l := 1; l < sigma; l++ {
+		for next < len(edges) && edges[next].lo < l {
+			heap.push(edges[next])
+			next++
+		}
+		for heap.len() > 0 && heap.min().hi <= l {
+			heap.pop()
+		}
+		best := cAvoid[l]
+		if heap.len() > 0 && heap.min().key < best {
+			best = heap.min().key
+		}
+		out[path[l]] = best
+	}
+	return out
+
+}
+
+// crossEdge is a non-tree edge jumping from the {level < l} region to
+// the {level > l} region; it is a valid detour for l in (lo, hi).
+type crossEdge struct {
+	key    float64
+	lo, hi int
+}
+
+// crossHeap is a plain min-heap of crossEdges ordered by key; expired
+// entries (hi ≤ current l) are removed lazily at the top.
+type crossHeap struct {
+	a []crossEdge
+}
+
+func (h *crossHeap) len() int { return len(h.a) }
+
+func (h *crossHeap) min() crossEdge { return h.a[0] }
+
+func (h *crossHeap) push(e crossEdge) {
+	h.a = append(h.a, e)
+	i := len(h.a) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if h.a[p].key <= h.a[i].key {
+			break
+		}
+		h.a[p], h.a[i] = h.a[i], h.a[p]
+		i = p
+	}
+}
+
+func (h *crossHeap) pop() {
+	last := len(h.a) - 1
+	h.a[0] = h.a[last]
+	h.a = h.a[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < len(h.a) && h.a[l].key < h.a[smallest].key {
+			smallest = l
+		}
+		if r < len(h.a) && h.a[r].key < h.a[smallest].key {
+			smallest = r
+		}
+		if smallest == i {
+			return
+		}
+		h.a[i], h.a[smallest] = h.a[smallest], h.a[i]
+		i = smallest
+	}
+}

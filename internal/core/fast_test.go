@@ -1,0 +1,149 @@
+package core
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"truthroute/internal/graph"
+	"truthroute/internal/sp"
+)
+
+// almostEqual compares replacement costs with a relative tolerance;
+// the fast and naive engines add the same float terms in different
+// orders.
+func almostEqual(a, b float64) bool {
+	if math.IsInf(a, 1) || math.IsInf(b, 1) {
+		return math.IsInf(a, 1) && math.IsInf(b, 1)
+	}
+	diff := math.Abs(a - b)
+	scale := math.Max(1, math.Max(math.Abs(a), math.Abs(b)))
+	return diff <= 1e-9*scale
+}
+
+func fastVsNaive(t *testing.T, g *graph.NodeGraph, s, tgt int) bool {
+	t.Helper()
+	tree := sp.NodeDijkstra(g, s, nil)
+	if !tree.Reachable(tgt) {
+		return true
+	}
+	path := tree.PathTo(tgt)
+	fast := replacementCostsFast(g, s, tgt, tree)
+	naive := sp.ReplacementCostsNaive(g, s, tgt, path)
+	if len(fast) != len(naive) {
+		t.Logf("entry count: fast %d naive %d", len(fast), len(naive))
+		return false
+	}
+	for k, want := range naive {
+		if got, ok := fast[k]; !ok || !almostEqual(got, want) {
+			t.Logf("node %d: fast %v naive %v (path %v)", k, got, want, path)
+			return false
+		}
+	}
+	return true
+}
+
+// TestQuickFastMatchesNaiveRandomBiconnected is the main correctness
+// property for Algorithm 1: on random biconnected graphs with
+// continuous positive costs, the fast engine must produce exactly
+// the replacement costs the per-node Dijkstra baseline does.
+func TestQuickFastMatchesNaiveRandomBiconnected(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 10))
+		n := 4 + rng.IntN(60)
+		g := graph.RandomBiconnected(n, 0.08, rng)
+		g.RandomizeCosts(0.1, 10, rng)
+		s := rng.IntN(n)
+		tgt := rng.IntN(n)
+		if s == tgt {
+			tgt = (tgt + 1) % n
+		}
+		return fastVsNaive(t, g, s, tgt)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickFastMatchesNaiveSparse stresses long paths and monopolies:
+// sparse Erdős–Rényi graphs that are often barely connected, so many
+// relays have +Inf replacement cost.
+func TestQuickFastMatchesNaiveSparse(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 11))
+		n := 4 + rng.IntN(40)
+		g := graph.ErdosRenyi(n, 1.8/float64(n), rng)
+		g.RandomizeCosts(0.1, 5, rng)
+		return fastVsNaive(t, g, 0, n-1)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickFastMatchesNaiveGeometricLike uses grid graphs with random
+// costs — the closest combinatorial analogue of the UDG topologies
+// in the paper's simulations, with plenty of equal-length detours.
+func TestQuickFastMatchesNaiveGrid(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 12))
+		rows := 2 + rng.IntN(6)
+		cols := 2 + rng.IntN(6)
+		g := graph.Grid(rows, cols)
+		g.RandomizeCosts(0.5, 4, rng)
+		return fastVsNaive(t, g, 0, rows*cols-1)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFastOnFixtures(t *testing.T) {
+	for name, g := range map[string]*graph.NodeGraph{"fig2": graph.Figure2(), "fig4": graph.Figure4()} {
+		t.Run(name, func(t *testing.T) {
+			for s := 1; s < g.N(); s++ {
+				if !fastVsNaive(t, g, s, 0) {
+					t.Errorf("fast != naive for source %d", s)
+				}
+			}
+		})
+	}
+}
+
+func TestFastTrivialPaths(t *testing.T) {
+	// Direct edge: no interior nodes, empty result.
+	g := graph.NewNodeGraph(2)
+	g.AddEdge(0, 1)
+	tree := sp.NodeDijkstra(g, 0, nil)
+	if got := replacementCostsFast(g, 0, 1, tree); len(got) != 0 {
+		t.Errorf("direct edge replacement = %v, want empty", got)
+	}
+	// Single relay with a single detour.
+	h2 := graph.NewNodeGraph(4)
+	h2.AddEdge(0, 1)
+	h2.AddEdge(1, 2)
+	h2.AddEdge(0, 3)
+	h2.AddEdge(3, 2)
+	h2.SetCosts([]float64{0, 1, 0, 5})
+	tree2 := sp.NodeDijkstra(h2, 0, nil)
+	got := replacementCostsFast(h2, 0, 2, tree2)
+	if !almostEqual(got[1], 5) {
+		t.Errorf("replacement for lone relay = %v, want 5", got[1])
+	}
+}
+
+func BenchmarkReplacementNaive(b *testing.B) { benchReplacement(b, EngineNaive) }
+func BenchmarkReplacementFast(b *testing.B)  { benchReplacement(b, EngineFast) }
+
+func benchReplacement(b *testing.B, e Engine) {
+	rng := rand.New(rand.NewPCG(99, 0))
+	g := graph.RandomBiconnected(1024, 4.0/1024, rng)
+	g.RandomizeCosts(0.5, 5, rng)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := UnicastQuote(g, 1, 0, e); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

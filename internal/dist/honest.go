@@ -1,0 +1,391 @@
+package dist
+
+import (
+	"math"
+	"slices"
+)
+
+// priceEps tolerates float noise in price comparisons.
+const priceEps = 1e-9
+
+// HonestNode follows Algorithm 2 faithfully: stage 1 with mutual
+// corrections, stage 2 with triggered price relaxation and
+// verification of entries it triggered.
+type HonestNode struct {
+	self int
+	net  *Network
+	st   NodeState
+
+	// Stage-1 knowledge about neighbours.
+	nbD    map[int]float64
+	nbPath map[int][]int
+	nbFH   map[int]int
+
+	// pendingCorrection marks neighbours we have instructed over the
+	// reliable channel and are waiting on; the correction is resent
+	// every round (keeping the network active) and escalates to a
+	// public accusation after correctionGrace unanswered resends of
+	// the *same* offer. The streak restarts whenever our offer or the
+	// neighbour's announced state changes — a correction epoch only
+	// counts refusals of one stable instruction, which keeps honest
+	// nodes safe during cascaded repairs (async delays, mid-run
+	// re-declarations).
+	pendingCorrection map[int]bool
+	pendingOffer      map[int]float64
+	correctionStreak  map[int]int
+
+	// Stage-2 state.
+	stage2   bool
+	triggers map[int]int // relay k → neighbour that triggered p[k]
+	// lastAnnounced[j] holds neighbour j's most recent price
+	// announcement, re-verified each round for entries that claim us
+	// as the trigger.
+	lastAnnounced map[int]*PriceAnnounce
+	dirty         bool // state changed; broadcast next Step
+	accused       map[int]bool
+}
+
+// Init implements Behavior.
+func (h *HonestNode) Init(self int, net *Network) {
+	h.self = self
+	h.net = net
+	h.st = NodeState{D: Inf, FH: -1, Prices: map[int]float64{}}
+	h.nbD = map[int]float64{}
+	h.nbPath = map[int][]int{}
+	h.nbFH = map[int]int{}
+	h.pendingCorrection = map[int]bool{}
+	h.pendingOffer = map[int]float64{}
+	h.correctionStreak = map[int]int{}
+	h.triggers = map[int]int{}
+	h.lastAnnounced = map[int]*PriceAnnounce{}
+	h.accused = map[int]bool{}
+	if self == net.Dest {
+		h.st.D = 0
+		h.st.Path = []int{self}
+	}
+	h.dirty = true
+}
+
+// State implements Behavior.
+func (h *HonestNode) State() *NodeState { return &h.st }
+
+// nbCost returns the relaying cost of a neighbour in distance
+// calculations; the access point terminates routes and relays
+// nothing.
+func (h *HonestNode) nbCost(j int) float64 {
+	if j == h.net.Dest {
+		return 0
+	}
+	return h.net.Cost(j)
+}
+
+// Step implements Behavior.
+func (h *HonestNode) Step(round int, inbox []Message) []Message {
+	var out []Message
+	if h.self == h.net.Dest {
+		// The access point anchors stage 1 and ignores prices.
+		if h.dirty {
+			h.dirty = false
+			return []Message{h.announceSPT()}
+		}
+		return nil
+	}
+	out = append(out, h.handleStage1(inbox)...)
+	if h.stage2 {
+		out = append(out, h.handleStage2(inbox)...)
+	}
+	if h.dirty {
+		h.dirty = false
+		out = append(out, h.announceSPT())
+		if h.stage2 {
+			out = append(out, h.announcePrices())
+		}
+	}
+	return out
+}
+
+func (h *HonestNode) announceSPT() Message {
+	return Message{From: h.self, To: Broadcast, SPT: &SPTAnnounce{
+		D: h.st.D, FH: h.st.FH, Path: slices.Clone(h.st.Path), Cost: h.net.Cost(h.self),
+	}}
+}
+
+// handleStage1 processes SPT announcements and corrections.
+func (h *HonestNode) handleStage1(inbox []Message) []Message {
+	var out []Message
+	for _, m := range inbox {
+		switch {
+		case m.Correct != nil:
+			// A neighbour with a better (or authoritative, if it is
+			// our first hop) route instructs us over the reliable
+			// channel; honest nodes comply (Algorithm 2, stage 1).
+			if m.Correct.D < h.st.D || h.st.FH == m.From {
+				h.adopt(m.From, m.Correct.D, m.Correct.Path)
+			}
+		case m.SPT != nil:
+			a := m.SPT
+			j := m.From
+			if h.nbD[j] != a.D || h.nbFH[j] != a.FH {
+				// The neighbour's state moved: any running correction
+				// epoch restarts (it is responding, not refusing).
+				h.correctionStreak[j] = 0
+			}
+			h.nbD[j] = a.D
+			h.nbFH[j] = a.FH
+			h.nbPath[j] = a.Path
+			// Standard relaxation through j.
+			if cand := a.D + h.nbCost(j); cand < h.st.D-priceEps {
+				h.adoptVia(j, a)
+			}
+		}
+	}
+	// Audit every stored neighbour view each step — not only on
+	// fresh announcements. Our own distance may have changed since a
+	// quiet neighbour last spoke, making its stored state newly
+	// inconsistent; without this re-audit the repair of a raised
+	// declaration stalls (the neighbour has no reason to announce
+	// again).
+	for j := range h.nbD {
+		if h.inconsistent(j) {
+			if !h.pendingCorrection[j] {
+				h.pendingCorrection[j] = true
+				h.correctionStreak[j] = 0
+			}
+		} else {
+			delete(h.pendingCorrection, j)
+			h.correctionStreak[j] = 0
+		}
+	}
+	// Drive pending corrections: resend every round, escalate after
+	// the grace period (Algorithm 2, stage 1: a node that will not
+	// accept a legitimate correction is cheating).
+	for j := range h.pendingCorrection {
+		if !h.inconsistent(j) { // our own state may have moved
+			delete(h.pendingCorrection, j)
+			h.correctionStreak[j] = 0
+			continue
+		}
+		myOffer := h.st.D + h.net.Cost(h.self)
+		if prev, ok := h.pendingOffer[j]; !ok || math.Abs(prev-myOffer) > priceEps {
+			// A different instruction starts a fresh epoch.
+			h.pendingOffer[j] = myOffer
+			h.correctionStreak[j] = 0
+		}
+		h.correctionStreak[j]++
+		if h.correctionStreak[j] > h.net.CorrectionGrace() {
+			delete(h.pendingCorrection, j)
+			if !h.accused[j] {
+				h.accused[j] = true
+				acc := Accusation{Offender: j, Kind: "refused stage-1 correction"}
+				h.st.Accusations = append(h.st.Accusations, acc)
+				out = append(out, Message{From: h.self, To: Broadcast, Accuse: &acc})
+			}
+			continue
+		}
+		out = append(out, Message{From: h.self, To: j, Correct: &Correction{
+			D:    h.st.D + h.net.Cost(h.self),
+			Path: slices.Clone(h.st.Path),
+		}})
+	}
+	return out
+}
+
+// inconsistent applies Algorithm 2's two stage-1 checks to the last
+// announcement we hold from neighbour j.
+func (h *HonestNode) inconsistent(j int) bool {
+	dj, ok := h.nbD[j]
+	if !ok || math.IsInf(h.st.D, 1) || j == h.net.Dest {
+		return false
+	}
+	myOffer := h.st.D + h.net.Cost(h.self)
+	if h.nbFH[j] == h.self {
+		// Case 2: we are j's first hop; its distance must be exactly
+		// ours plus our cost.
+		return math.Abs(dj-myOffer) > priceEps
+	}
+	// Case 1: we can offer j a strictly better route.
+	return myOffer < dj-priceEps
+}
+
+func (h *HonestNode) adoptVia(j int, a *SPTAnnounce) {
+	h.st.D = a.D + h.nbCost(j)
+	h.st.FH = j
+	if a.Path != nil {
+		h.st.Path = append([]int{h.self}, a.Path...)
+	} else {
+		h.st.Path = nil
+	}
+	h.resetPrices()
+	h.dirty = true
+}
+
+// adopt applies a correction: distance d with first hop j, whose own
+// route is jPath.
+func (h *HonestNode) adopt(j int, d float64, jPath []int) {
+	h.st.D = d
+	h.st.FH = j
+	if jPath != nil {
+		h.st.Path = append([]int{h.self}, jPath...)
+	} else {
+		h.st.Path = nil
+	}
+	h.resetPrices()
+	h.dirty = true
+}
+
+// resetPrices reinitializes the stage-2 entries after a route
+// change: one +Inf entry per relay on the current path (§III.C
+// initialization).
+func (h *HonestNode) resetPrices() {
+	h.st.Prices = map[int]float64{}
+	h.triggers = map[int]int{}
+	if !h.stage2 {
+		return
+	}
+	for _, k := range h.relays() {
+		h.st.Prices[k] = Inf
+	}
+}
+
+// relays returns the interior nodes of this node's current path.
+func (h *HonestNode) relays() []int {
+	if len(h.st.Path) <= 2 {
+		return nil
+	}
+	return h.st.Path[1 : len(h.st.Path)-1]
+}
+
+// StartStage2 switches the node into price-computation mode.
+func (h *HonestNode) StartStage2() {
+	h.stage2 = true
+	h.resetPrices()
+	h.relaxAll()
+	h.dirty = true
+}
+
+// Refresh implements Behavior: drop back to stage 1 after a
+// declaration change and re-announce, so corrections and relaxations
+// can repair the SPT. Routing state is kept — only monotone-stale
+// price entries are discarded.
+func (h *HonestNode) Refresh() {
+	h.stage2 = false
+	h.lastAnnounced = map[int]*PriceAnnounce{}
+	h.resetPrices()
+	h.dirty = true
+}
+
+func (h *HonestNode) announcePrices() Message {
+	pa := &PriceAnnounce{Prices: map[int]float64{}, Triggers: map[int]int{}}
+	for k, p := range h.st.Prices {
+		pa.Prices[k] = p
+		if tr, ok := h.triggers[k]; ok {
+			pa.Triggers[k] = tr
+		}
+	}
+	return Message{From: h.self, To: Broadcast, Price: pa}
+}
+
+// onNeighbourPath reports whether relay k is an interior node of
+// neighbour j's announced path.
+func (h *HonestNode) onNeighbourPath(j, k int) bool {
+	p := h.nbPath[j]
+	if len(p) <= 2 {
+		return false
+	}
+	return slices.Contains(p[1:len(p)-1], k)
+}
+
+// candidateVia computes the §III.C relaxation value for relay k
+// through neighbour j, or +Inf if not yet computable.
+func (h *HonestNode) candidateVia(j, k int) float64 {
+	if j == k {
+		return Inf // a detour through k cannot avoid k
+	}
+	var dj float64
+	if j == h.net.Dest {
+		dj = 0
+	} else {
+		var ok bool
+		dj, ok = h.nbD[j]
+		if !ok || math.IsInf(dj, 1) {
+			return Inf
+		}
+		// Without j's full route we cannot tell whether its distance
+		// avoids k; using it anyway could lock in an understated
+		// price (relaxation only ever decreases).
+		if h.nbPath[j] == nil {
+			return Inf
+		}
+	}
+	base := h.nbCost(j) + dj - h.st.D
+	if j != h.net.Dest && h.onNeighbourPath(j, k) {
+		pa := h.lastAnnounced[j]
+		if pa == nil {
+			return Inf
+		}
+		pjk, ok := pa.Prices[k]
+		if !ok {
+			return Inf
+		}
+		return pjk + base
+	}
+	return h.net.Cost(k) + base
+}
+
+// relaxAll recomputes every entry from current knowledge.
+func (h *HonestNode) relaxAll() {
+	for _, k := range h.relays() {
+		for _, j := range h.net.Neighbors(h.self) {
+			if cand := h.candidateVia(j, k); cand < h.st.Prices[k]-priceEps {
+				h.st.Prices[k] = cand
+				h.triggers[k] = j
+				h.dirty = true
+			}
+		}
+	}
+}
+
+// handleStage2 processes price announcements: record, relax, verify.
+func (h *HonestNode) handleStage2(inbox []Message) []Message {
+	var out []Message
+	for _, m := range inbox {
+		if m.Price == nil {
+			continue
+		}
+		h.lastAnnounced[m.From] = m.Price
+	}
+	h.relaxAll()
+	// Verification (Algorithm 2, stage 2): for every neighbour entry
+	// that claims us as the trigger, recompute the candidate from
+	// our own state. Prices decrease monotonically, so a correct
+	// (possibly stale) announcement is never *below* our current
+	// candidate; one that is has been understated.
+	for j, pa := range h.lastAnnounced {
+		for k, tr := range pa.Triggers {
+			if tr != h.self || h.accused[j] {
+				continue
+			}
+			dj, ok := h.nbD[j]
+			if !ok || math.IsInf(dj, 1) {
+				continue
+			}
+			var exp float64
+			base := h.net.Cost(h.self) + h.st.D - dj
+			if myP, onMine := h.st.Prices[k]; onMine {
+				if math.IsInf(myP, 1) {
+					continue // our own entry not yet resolved
+				}
+				exp = myP + base
+			} else {
+				exp = h.net.Cost(k) + base
+			}
+			if pa.Prices[k] < exp-1e-6 {
+				h.accused[j] = true
+				acc := Accusation{Offender: j, Kind: "understated price entry"}
+				h.st.Accusations = append(h.st.Accusations, acc)
+				out = append(out, Message{From: h.self, To: Broadcast, Accuse: &acc})
+			}
+		}
+	}
+	return out
+}

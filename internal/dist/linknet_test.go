@@ -1,0 +1,123 @@
+package dist
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"truthroute/internal/core"
+	"truthroute/internal/graph"
+)
+
+// randomBidirectional builds a link graph whose connectivity is
+// symmetric (arcs both ways) with independent per-direction weights —
+// the §III.F model under the standard ad hoc MAC assumption.
+func randomBidirectional(n int, p float64, rng *rand.Rand) *graph.LinkGraph {
+	g := graph.NewLinkGraph(n)
+	addPair := func(u, v int) {
+		g.AddArc(u, v, 0.1+5*rng.Float64())
+		g.AddArc(v, u, 0.1+5*rng.Float64())
+	}
+	for i := 0; i < n; i++ {
+		addPair(i, (i+1)%n) // ring scaffold keeps it connected
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 2; j < n; j++ {
+			if (i+1)%n == j || (j+1)%n == i || g.HasArc(i, j) {
+				continue
+			}
+			if rng.Float64() < p {
+				addPair(i, j)
+			}
+		}
+	}
+	return g
+}
+
+func TestLinkNetworkMatchesCentralizedFixture(t *testing.T) {
+	g := graph.NewLinkGraph(4)
+	// Diamond with asymmetric weights.
+	g.AddArc(3, 1, 1)
+	g.AddArc(1, 3, 2)
+	g.AddArc(1, 0, 1)
+	g.AddArc(0, 1, 1)
+	g.AddArc(3, 2, 2)
+	g.AddArc(2, 3, 1)
+	g.AddArc(2, 0, 2)
+	g.AddArc(0, 2, 3)
+	net := NewLinkNetwork(g, 0)
+	rounds := net.Run(500)
+	if rounds >= 500 {
+		t.Fatal("no quiescence")
+	}
+	q := net.Quote(3)
+	// Central: path 3-1-0 cost 2; avoiding 1: 3-2-0 cost 4; p^1 =
+	// w(1,0) + (4 − 2) = 3.
+	if q.Dist != 2 || len(q.Path) != 3 || q.Path[1] != 1 {
+		t.Fatalf("quote = %+v", q)
+	}
+	if q.Payments[1] != 3 {
+		t.Errorf("p^1 = %v, want 3", q.Payments[1])
+	}
+	if net.Quote(0) != nil {
+		t.Error("destination should have no quote")
+	}
+}
+
+// TestQuickLinkNetworkMatchesCentralized: the distributed link-model
+// relaxation converges to exactly the centralized §III.F payments on
+// random bidirectional networks.
+func TestQuickLinkNetworkMatchesCentralized(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 120))
+		n := 4 + rng.IntN(16)
+		g := randomBidirectional(n, 0.2, rng)
+		net := NewLinkNetwork(g, 0)
+		if r := net.Run(100 * n); r >= 100*n {
+			t.Logf("seed %d: no quiescence", seed)
+			return false
+		}
+		want := core.AllLinkQuotes(g, 0)
+		for i := 1; i < n; i++ {
+			q := net.Quote(i)
+			w := want[i]
+			if (q == nil) != (w == nil) {
+				t.Logf("seed %d node %d: reachability mismatch", seed, i)
+				return false
+			}
+			if q == nil {
+				continue
+			}
+			if !almostEqual(q.Dist, w.Cost) {
+				t.Logf("seed %d node %d: dist %v want %v", seed, i, q.Dist, w.Cost)
+				return false
+			}
+			if len(q.Payments) != len(w.Payments) {
+				t.Logf("seed %d node %d: %v vs %v", seed, i, q.Payments, w.Payments)
+				return false
+			}
+			for k, wp := range w.Payments {
+				if got, ok := q.Payments[k]; !ok || !almostEqual(got, wp) {
+					t.Logf("seed %d node %d: p^%d = %v want %v", seed, i, k, got, wp)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLinkNetworkConvergenceLinearRounds(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 121))
+	for trial := 0; trial < 8; trial++ {
+		n := 10 + rng.IntN(20)
+		g := randomBidirectional(n, 0.15, rng)
+		net := NewLinkNetwork(g, 0)
+		if r := net.Run(100 * n); r > 4*n {
+			t.Errorf("n=%d: %d rounds (> 4n)", n, r)
+		}
+	}
+}

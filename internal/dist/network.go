@@ -1,0 +1,411 @@
+// Package dist implements the paper's distributed payment
+// computation (§III.C) and its manipulation-resistant refinement,
+// Algorithm 2 (§III.D), on a synchronous round-based message-passing
+// simulator.
+//
+// Stage 1 builds the shortest path tree towards the access point
+// v_0 in a Bellman-Ford fashion; every node maintains D(v) — its
+// distance to v_0 — and FH(v), its first-hop (parent). Algorithm 2
+// hardens the stage with *mutual correction*: a node that can offer
+// a neighbour a better route, or that observes its child advertising
+// an inconsistent distance, contacts the neighbour directly over the
+// reliable channel; refusing the correction is detectable cheating
+// (this is what defeats the Figure-2 "hide an edge" attack).
+//
+// Stage 2 relaxes the price entries p_i^k — what node v_i must pay
+// relay v_k on P(v_i, v_0) — using the Feigenbaum-style update the
+// paper states as three rules, all instances of one relaxation over
+// a neighbour j ≠ k:
+//
+//	p_i^k = min(p_i^k, (k ∈ P(j,0) ? p_j^k : c_k) + c_j + c(j,0) − c(i,0))
+//
+// Prices decrease monotonically and converge to the centralized VCG
+// payments within at most n rounds. Algorithm 2's second stage makes
+// every broadcast carry the *trigger* neighbour that produced the
+// value; the trigger recomputes the entry from its own state and
+// publicly accuses the sender on a mismatch, so understating one's
+// payment is caught.
+//
+// All nodes — honest or adversarial — implement the Behavior
+// interface; adversaries (adversary.go) deviate in exactly the ways
+// §III.D worries about.
+package dist
+
+import (
+	"crypto/hmac"
+	"fmt"
+	"io"
+	"math"
+	"math/rand/v2"
+
+	"truthroute/internal/auth"
+	"truthroute/internal/graph"
+)
+
+// Inf marks "no route yet".
+var Inf = math.Inf(1)
+
+// Message is what travels between neighbours. Exactly one payload
+// field is set. From is the *claimed* sender: the radio medium lets
+// a transmitter put any identity there, which is why §III.D requires
+// signatures (Sig, attached by the network from the actual
+// transmitter's key when signing is enabled).
+type Message struct {
+	From, To int // To == Broadcast means all neighbours
+	SPT      *SPTAnnounce
+	Price    *PriceAnnounce
+	Correct  *Correction
+	Accuse   *Accusation
+	Sig      []byte
+}
+
+// Broadcast is the To value for radio broadcasts (an omnidirectional
+// antenna reaches every neighbour at once, §II.B).
+const Broadcast = -1
+
+// SPTAnnounce is a stage-1 state advertisement: the sender's current
+// distance to the access point, its first hop, and its full path
+// (needed by stage 2 to know which relays a neighbour pays).
+type SPTAnnounce struct {
+	D    float64
+	FH   int
+	Path []int // sender → ... → 0; nil until a route is known
+	Cost float64
+}
+
+// PriceAnnounce is a stage-2 advertisement of the sender's current
+// price entries with the trigger neighbour of each (Algorithm 2
+// second stage, step 1: "it should also broadcast which node
+// triggered this change").
+type PriceAnnounce struct {
+	Prices   map[int]float64 // relay k → p_sender^k
+	Triggers map[int]int     // relay k → neighbour that produced it
+}
+
+// Correction is Algorithm 2 stage 1's direct "reliable and secure
+// connection" message: the sender instructs the receiver to adopt
+// distance D with first hop the sender, whose own route to the
+// access point is Path (so the receiver's full path stays known).
+type Correction struct {
+	D    float64
+	Path []int
+}
+
+// Accusation is a public cheating report: Accuser observed Offender
+// violating the protocol. Kind describes the violation.
+type Accusation struct {
+	Offender int
+	Kind     string
+}
+
+func (a Accusation) String() string {
+	return fmt.Sprintf("node %d accused: %s", a.Offender, a.Kind)
+}
+
+// Behavior is a node's protocol implementation. HonestNode follows
+// Algorithm 2; adversary.go provides deviants. Step is called once
+// per round with the messages delivered this round; returned
+// messages are delivered next round.
+type Behavior interface {
+	// Init hands the node its identity, declared cost, neighbour
+	// set and (for neighbours') declared costs, as the paper's model
+	// makes all declarations public before routing.
+	Init(self int, net *Network)
+	// Step processes one synchronous round.
+	Step(round int, inbox []Message) []Message
+	// StartStage2 switches the node from SPT construction to price
+	// computation.
+	StartStage2()
+	// Refresh drops back to stage 1 and forces a re-announcement —
+	// how the network reacts to a changed declaration (ReDeclare).
+	Refresh()
+	// State exposes the node's current routing state for inspection.
+	State() *NodeState
+}
+
+// NodeState is the protocol-visible state of one node.
+type NodeState struct {
+	D    float64 // distance to the access point, c(i,0)
+	FH   int     // first hop towards 0; -1 if none
+	Path []int   // current LCP to 0 (self first), nil if unknown
+	// Prices are the converged (or in-progress) entries p_i^k.
+	Prices map[int]float64
+	// Accusations this node has raised.
+	Accusations []Accusation
+}
+
+// Network wires Behaviors over an undirected node-weighted topology
+// and runs synchronous rounds. By default every message takes one
+// round; SetAsync introduces bounded random per-message delays over
+// FIFO channels.
+type Network struct {
+	G     *graph.NodeGraph
+	Dest  int // the access point (v_0)
+	Nodes []Behavior
+
+	// pending[r] holds messages to deliver at round r (per target).
+	pending map[int]map[int][]Message
+	// Log collects every accusation raised by any node.
+	Log []Accusation
+	// Rounds counts executed rounds.
+	Rounds int
+
+	// Async message delays: maxDelay ≥ 1; rng drives the delay draw;
+	// lastDelivery keeps each directed channel FIFO (the standard
+	// reliable-channel assumption the protocol's verification needs).
+	maxDelay     int
+	delayRng     *rand.Rand
+	lastDelivery map[[2]int]int
+	// correctionGrace is how many unanswered stage-1 correction
+	// resends honest nodes tolerate before accusing; it scales with
+	// the maximum delay.
+	correctionGrace int
+
+	// keyring enables §III.D message authentication (signing.go);
+	// DroppedForged counts messages whose signature failed against
+	// the claimed sender's key.
+	keyring       auth.Keyring
+	DroppedForged int
+
+	// trace, when set, receives one line per round summarizing the
+	// traffic (SetTrace).
+	trace io.Writer
+
+	// Messages counts every point-to-point delivery (a broadcast to
+	// k neighbours counts k) — the communication-complexity figure
+	// the distributed-mechanism literature reports alongside round
+	// counts.
+	Messages int
+}
+
+// NewNetwork builds a network over g towards dest. behaviors may be
+// nil entries, which default to honest nodes.
+func NewNetwork(g *graph.NodeGraph, dest int, behaviors []Behavior) *Network {
+	n := &Network{
+		G: g, Dest: dest, Nodes: make([]Behavior, g.N()),
+		pending:         map[int]map[int][]Message{},
+		maxDelay:        1,
+		lastDelivery:    map[[2]int]int{},
+		correctionGrace: 4,
+	}
+	for i := 0; i < g.N(); i++ {
+		if behaviors != nil && behaviors[i] != nil {
+			n.Nodes[i] = behaviors[i]
+		} else {
+			n.Nodes[i] = &HonestNode{}
+		}
+		n.Nodes[i].Init(i, n)
+	}
+	return n
+}
+
+// SetAsync switches message delivery to random per-message delays in
+// [1, maxDelay] rounds, drawn deterministically from seed. Channels
+// stay FIFO per directed (sender, receiver) pair — the reliable
+// in-order channel the paper's verification arguments assume. Call
+// before the first round. The stage-1 correction grace scales
+// accordingly.
+func (n *Network) SetAsync(maxDelay int, seed uint64) {
+	if maxDelay < 1 {
+		panic("dist: maxDelay must be >= 1")
+	}
+	n.maxDelay = maxDelay
+	n.delayRng = rand.New(rand.NewPCG(seed, 0xa5a5))
+	n.correctionGrace = 2*maxDelay + 4
+}
+
+// CorrectionGrace is how many unanswered correction resends honest
+// nodes tolerate before accusing (see honest.go).
+func (n *Network) CorrectionGrace() int { return n.correctionGrace }
+
+// SetTrace emits one summary line per executed round to w: how many
+// announcements, price updates, corrections and accusations were
+// delivered. Useful with disttrace -trace.
+func (n *Network) SetTrace(w io.Writer) { n.trace = w }
+
+// ReDeclare changes node v's declared cost mid-run and drops every
+// node back to stage 1. Distance *increases* propagate through
+// Algorithm 2's case-2 corrections (a first hop is authoritative for
+// its children), decreases through ordinary relaxation; rerun
+// RunProtocol afterwards to reconverge both stages. Stage-2 prices
+// are reset because the relaxation is monotone and cannot track a
+// cost increase in place.
+func (n *Network) ReDeclare(v int, cost float64) {
+	n.G.SetCost(v, cost)
+	for _, b := range n.Nodes {
+		b.Refresh()
+	}
+}
+
+// Cost returns node v's declared cost (public knowledge once
+// declared).
+func (n *Network) Cost(v int) float64 { return n.G.Cost(v) }
+
+// Neighbors returns v's neighbour set.
+func (n *Network) Neighbors(v int) []int { return n.G.Neighbors(v) }
+
+// schedule enqueues one point-to-point message, preserving per-channel
+// FIFO order under async delays.
+func (n *Network) schedule(m Message) {
+	delay := 1
+	if n.maxDelay > 1 {
+		delay = 1 + n.delayRng.IntN(n.maxDelay)
+	}
+	at := n.Rounds + delay
+	ch := [2]int{m.From, m.To}
+	if last := n.lastDelivery[ch]; at < last {
+		at = last // never overtake an earlier message on this channel
+	}
+	n.lastDelivery[ch] = at
+	n.Messages++
+	byTarget := n.pending[at]
+	if byTarget == nil {
+		byTarget = map[int][]Message{}
+		n.pending[at] = byTarget
+	}
+	byTarget[m.To] = append(byTarget[m.To], m)
+}
+
+// deliver routes msgs into future rounds, expanding broadcasts.
+// sender is the *physical* transmitter: broadcast reach and adjacency
+// are governed by where the radio actually is, regardless of the
+// claimed From field; with signing enabled the message is stamped
+// with sender's key and verified at receipt against the claimed
+// identity.
+func (n *Network) deliver(sender int, msgs []Message) {
+	for _, m := range msgs {
+		if m.Accuse != nil {
+			// Accusations are flooded out of band (signed, §III.H);
+			// the simulator records them centrally.
+			n.Log = append(n.Log, *m.Accuse)
+			continue
+		}
+		if n.keyring != nil {
+			m.Sig = signMessage(n.keyring[sender], &m)
+		}
+		if m.To == Broadcast {
+			for _, v := range n.G.Neighbors(sender) {
+				mm := m
+				mm.To = v
+				if n.verified(mm) {
+					n.schedule(mm)
+				}
+			}
+			continue
+		}
+		if !n.G.HasEdge(sender, m.To) {
+			panic(fmt.Sprintf("dist: node %d sent to non-neighbour %d", sender, m.To))
+		}
+		if n.verified(m) {
+			n.schedule(m)
+		}
+	}
+}
+
+// verified checks the signature (when signing is on) against the
+// *claimed* sender's key; it matches exactly when the physical
+// transmitter owns that key. Forged messages are dropped and
+// counted. The signature covers the sender identity and payload but
+// not To — one radio broadcast carries one signature for all
+// receivers.
+func (n *Network) verified(m Message) bool {
+	if n.keyring == nil {
+		return true
+	}
+	want := signMessage(n.keyring[m.From], &m)
+	if hmac.Equal(want, m.Sig) {
+		return true
+	}
+	n.DroppedForged++
+	return false
+}
+
+// RunRound executes one synchronous round and reports whether any
+// message was exchanged or is still in flight (false means the
+// protocol has gone quiet).
+func (n *Network) RunRound() bool {
+	n.Rounds++
+	inboxes := n.pending[n.Rounds]
+	delete(n.pending, n.Rounds)
+	if n.trace != nil {
+		var spt, price, corr, acc int
+		for _, q := range inboxes {
+			for _, m := range q {
+				switch {
+				case m.SPT != nil:
+					spt++
+				case m.Price != nil:
+					price++
+				case m.Correct != nil:
+					corr++
+				case m.Accuse != nil:
+					acc++
+				}
+			}
+		}
+		fmt.Fprintf(n.trace, "round %4d: %4d spt, %4d price, %3d corrections, %2d accusations delivered\n",
+			n.Rounds, spt, price, corr, acc)
+	}
+	active := false
+	for i, node := range n.Nodes {
+		out := node.Step(n.Rounds, inboxes[i])
+		if len(out) > 0 {
+			active = true
+		}
+		n.deliver(i, out)
+	}
+	for _, byTarget := range n.pending {
+		for _, q := range byTarget {
+			if len(q) > 0 {
+				active = true
+			}
+		}
+	}
+	return active
+}
+
+// Run executes rounds until quiescence or maxRounds, returning the
+// number of rounds executed by this call.
+func (n *Network) Run(maxRounds int) int {
+	start := n.Rounds
+	for r := 0; r < maxRounds; r++ {
+		if !n.RunRound() {
+			break
+		}
+	}
+	return n.Rounds - start
+}
+
+// RunProtocol executes both stages of Algorithm 2: stage 1 (SPT
+// construction with mutual correction) until quiescence, then stage 2
+// (price relaxation with trigger verification) until quiescence. It
+// returns the rounds each stage took. maxRounds bounds each stage —
+// the paper guarantees convergence within n rounds per stage on
+// honest networks; adversarial runs may stay noisy, in which case
+// the cap applies.
+func (n *Network) RunProtocol(maxRounds int) (stage1, stage2 int) {
+	stage1 = n.Run(maxRounds)
+	for _, b := range n.Nodes {
+		b.StartStage2()
+	}
+	stage2 = n.Run(maxRounds)
+	return stage1, stage2
+}
+
+// States snapshots every node's state.
+func (n *Network) States() []*NodeState {
+	out := make([]*NodeState, len(n.Nodes))
+	for i, b := range n.Nodes {
+		out[i] = b.State()
+	}
+	return out
+}
+
+// AccusedSet returns the distinct accused node ids.
+func (n *Network) AccusedSet() map[int]bool {
+	out := map[int]bool{}
+	for _, a := range n.Log {
+		out[a.Offender] = true
+	}
+	return out
+}

@@ -1,0 +1,131 @@
+package dist
+
+import (
+	"testing"
+
+	"truthroute/internal/auth"
+	"truthroute/internal/graph"
+	"truthroute/internal/sp"
+)
+
+// impersonationFixture: Figure 2 with node 6 forging announcements
+// from node 4 ("I'm next to the access point at distance 0"). Node 1
+// hears the forgery (6 and 4 are both its neighbours) and, trusting
+// the From field, would adopt a bogus cheap route through 4.
+func impersonationFixture() (*graph.NodeGraph, []Behavior) {
+	g := graph.Figure2()
+	behaviors := make([]Behavior, g.N())
+	behaviors[6] = &Impersonator{Victim: 4, FakeD: 0}
+	return g, behaviors
+}
+
+// TestImpersonationCorruptsUnsignedProtocol: without signatures the
+// forgery goes through and the protocol cannot settle on the true
+// state — it either keeps oscillating (the honest victim corrects,
+// the forger re-forges), ends with wrong distances, or produces
+// accusations against honest nodes.
+func TestImpersonationCorruptsUnsignedProtocol(t *testing.T) {
+	g, behaviors := impersonationFixture()
+	net := NewNetwork(g, 0, behaviors)
+	maxRounds := 60 * g.N()
+	s1 := net.Run(maxRounds)
+	want := sp.NodeDijkstra(g, 0, nil)
+	wrongD := false
+	for i, st := range net.States() {
+		if !almostEqual(st.D, want.Dist[i]) {
+			wrongD = true
+		}
+	}
+	corrupted := s1 >= maxRounds || wrongD || len(net.Log) > 0
+	if !corrupted {
+		t.Fatal("unsigned protocol shrugged off the impersonation; the attack fixture is broken")
+	}
+}
+
+// TestSigningDefeatsImpersonation: with §III.D signatures the forged
+// announcements fail verification against the victim's key, are
+// dropped (counted in DroppedForged), and the protocol converges to
+// the exact centralized state with no accusations.
+func TestSigningDefeatsImpersonation(t *testing.T) {
+	g, behaviors := impersonationFixture()
+	net := NewNetwork(g, 0, behaviors)
+	net.EnableSigning(auth.NewKeyring(g.N()))
+	if !net.SigningEnabled() {
+		t.Fatal("signing not enabled")
+	}
+	// The forger never stops, so the network never quiesces: run a
+	// fixed number of rounds and switch stages manually.
+	for r := 0; r < 40; r++ {
+		net.RunRound()
+	}
+	for _, b := range net.Nodes {
+		b.StartStage2()
+	}
+	for r := 0; r < 60; r++ {
+		net.RunRound()
+	}
+	if net.DroppedForged == 0 {
+		t.Fatal("no forged messages were dropped")
+	}
+	if len(net.Log) != 0 {
+		t.Fatalf("signed run produced accusations: %v", net.Log)
+	}
+	want := sp.NodeDijkstra(g, 0, nil)
+	for i, st := range net.States() {
+		if !almostEqual(st.D, want.Dist[i]) {
+			t.Errorf("node %d: D = %v, want %v", i, st.D, want.Dist[i])
+		}
+	}
+	checkPricesMatchCentralized(t, g, net)
+}
+
+// TestSigningTransparentForHonestRuns: with every node honest,
+// enabling signatures changes nothing — same rounds, same state, no
+// drops.
+func TestSigningTransparentForHonestRuns(t *testing.T) {
+	g := graph.Figure4()
+	plain := NewNetwork(g, 0, nil)
+	p1, p2 := plain.RunProtocol(2000)
+
+	signed := NewNetwork(g, 0, nil)
+	signed.EnableSigning(auth.NewKeyring(g.N()))
+	s1, s2 := signed.RunProtocol(2000)
+
+	if p1 != s1 || p2 != s2 {
+		t.Errorf("round counts differ: plain (%d,%d) signed (%d,%d)", p1, p2, s1, s2)
+	}
+	if signed.DroppedForged != 0 {
+		t.Errorf("honest signed run dropped %d messages", signed.DroppedForged)
+	}
+	for i := range plain.States() {
+		a, b := plain.States()[i], signed.States()[i]
+		if !almostEqual(a.D, b.D) || len(a.Prices) != len(b.Prices) {
+			t.Errorf("node %d state diverged under signing", i)
+		}
+	}
+}
+
+// TestMessageDigestDeterminism: map-valued payloads digest
+// identically regardless of insertion order.
+func TestMessageDigestDeterminism(t *testing.T) {
+	a := &Message{From: 1, Price: &PriceAnnounce{
+		Prices:   map[int]float64{3: 1.5, 7: 2.5, 5: 9},
+		Triggers: map[int]int{3: 2, 7: 4, 5: 6},
+	}}
+	b := &Message{From: 1, Price: &PriceAnnounce{
+		Prices:   map[int]float64{7: 2.5, 5: 9, 3: 1.5},
+		Triggers: map[int]int{5: 6, 3: 2, 7: 4},
+	}}
+	da, db := messageDigest(a), messageDigest(b)
+	if string(da) != string(db) {
+		t.Error("digest depends on map order")
+	}
+	// And it distinguishes different payloads.
+	c := &Message{From: 1, Price: &PriceAnnounce{
+		Prices:   map[int]float64{3: 1.5, 7: 2.5, 5: 9.0001},
+		Triggers: map[int]int{3: 2, 7: 4, 5: 6},
+	}}
+	if string(da) == string(messageDigest(c)) {
+		t.Error("digest collision on different prices")
+	}
+}

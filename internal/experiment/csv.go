@@ -1,0 +1,32 @@
+package experiment
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+)
+
+// RenderCSV writes the series as CSV (header row first), for feeding
+// the numbers into a plotting tool. Notes are emitted as trailing
+// comment rows starting with "#".
+func (s *Series) RenderCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(s.Header); err != nil {
+		return fmt.Errorf("experiment: writing csv header: %w", err)
+	}
+	for _, r := range s.Rows {
+		if err := cw.Write(r); err != nil {
+			return fmt.Errorf("experiment: writing csv row: %w", err)
+		}
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		return err
+	}
+	for _, n := range s.Notes {
+		if _, err := fmt.Fprintf(w, "# %s\n", n); err != nil {
+			return err
+		}
+	}
+	return nil
+}

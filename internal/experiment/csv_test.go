@@ -1,0 +1,35 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRenderCSV(t *testing.T) {
+	s := &Series{
+		Figure: "3a", Title: "t",
+		Header: []string{"n", "IOR"},
+		Rows:   [][]string{{"100", "1.5"}, {"200", "1.4"}},
+		Notes:  []string{"something was skipped"},
+	}
+	var sb strings.Builder
+	if err := s.RenderCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	got := sb.String()
+	want := "n,IOR\n100,1.5\n200,1.4\n# something was skipped\n"
+	if got != want {
+		t.Errorf("csv = %q, want %q", got, want)
+	}
+}
+
+func TestRenderCSVQuotesCommas(t *testing.T) {
+	s := &Series{Header: []string{"a,b"}, Rows: [][]string{{"x"}}}
+	var sb strings.Builder
+	if err := s.RenderCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(sb.String(), `"a,b"`) {
+		t.Errorf("comma not quoted: %q", sb.String())
+	}
+}

@@ -1,0 +1,163 @@
+package experiment
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"truthroute/internal/core"
+	"truthroute/internal/graph"
+)
+
+func TestMeasureOnFigure2(t *testing.T) {
+	g := graph.Figure2()
+	quotes := core.AllUnicastQuotes(g, 0)
+	m := Measure(quotes, NodeOwnCost)
+	// Sources with relays: 1 (ratio 2), 3 (p=5, c=1 → 5), 4 (p_4^3 +
+	// p_4^2 = 3+3 = 6? recomputed below); direct: 2, 5, 6.
+	if m.SkippedDirect != 3 {
+		t.Errorf("skipped direct = %d, want 3", m.SkippedDirect)
+	}
+	if m.Sources != 3 {
+		t.Errorf("sources = %d, want 3", m.Sources)
+	}
+	if m.Disconnected != 1 { // the destination's own nil entry
+		t.Errorf("disconnected = %d, want 1 (the AP)", m.Disconnected)
+	}
+	// Source 1: total 6 over cost 3.
+	q1 := quotes[1]
+	if r := q1.Total() / q1.Cost; r != 2 {
+		t.Errorf("ratio for v1 = %v, want 2", r)
+	}
+	if m.Worst < 2 {
+		t.Errorf("worst = %v, want >= 2", m.Worst)
+	}
+	if math.IsNaN(m.IOR) || m.IOR <= 1 {
+		t.Errorf("IOR = %v, want > 1 (VCG always overpays)", m.IOR)
+	}
+	if m.TOR <= 1 || m.TOR > m.Worst {
+		t.Errorf("TOR = %v out of (1, worst]", m.TOR)
+	}
+}
+
+func TestMeasureMonopolyAndNil(t *testing.T) {
+	g := graph.NewNodeGraph(4)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2) // 2 transits monopolist 1; 3 disconnected
+	g.SetCosts([]float64{0, 2, 1, 0})
+	quotes := core.AllUnicastQuotes(g, 0)
+	m := Measure(quotes, NodeOwnCost)
+	if m.SkippedMonopoly != 1 {
+		t.Errorf("monopoly = %d, want 1", m.SkippedMonopoly)
+	}
+	if m.Disconnected != 2 { // node 3 and the AP entry
+		t.Errorf("disconnected = %d, want 2", m.Disconnected)
+	}
+	if m.Sources != 0 || !math.IsNaN(m.Worst) {
+		t.Errorf("sources=%d worst=%v, want 0/NaN", m.Sources, m.Worst)
+	}
+}
+
+// TestUDGCampaignSmoke runs a reduced Figure 3(a/b) campaign and
+// checks the paper's qualitative findings: IOR ≈ TOR, both modest
+// (the paper reports ≈1.5), stable in n, and every ratio ≥ 1.
+func TestUDGCampaignSmoke(t *testing.T) {
+	rows := UDGCampaign{Side: PaperSide, Range: PaperRange, Kappa: 2,
+		Sizes: []int{100, 160}, Instances: 4, Seed: 7}.Run()
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(rows))
+	}
+	for _, r := range rows {
+		if r.Sources == 0 {
+			t.Fatalf("n=%d: no sources measured", r.Size)
+		}
+		if r.IOR < 1 || r.TOR < 1 {
+			t.Errorf("n=%d: ratios below 1 (IOR=%v TOR=%v)", r.Size, r.IOR, r.TOR)
+		}
+		if r.IOR > 3.5 || r.TOR > 3.5 {
+			t.Errorf("n=%d: ratios implausibly large (IOR=%v TOR=%v)", r.Size, r.IOR, r.TOR)
+		}
+		if math.Abs(r.IOR-r.TOR) > 0.5 {
+			t.Errorf("n=%d: IOR %v and TOR %v far apart; paper finds them nearly equal", r.Size, r.IOR, r.TOR)
+		}
+		if r.MaxWorst < r.AvgWorst {
+			t.Errorf("n=%d: max worst below avg worst", r.Size)
+		}
+	}
+}
+
+func TestRangeCampaignSmoke(t *testing.T) {
+	rows := RangeCampaign{Side: PaperSide, RangeLo: PaperRangeLo, RangeHi: PaperRangeHi,
+		Kappa: 2, C1Lo: PaperC1Lo, C1Hi: PaperC1Hi, C2Lo: PaperC2Lo, C2Hi: PaperC2Hi,
+		Sizes: []int{120}, Instances: 3, Seed: 9}.Run()
+	r := rows[0]
+	if r.Sources == 0 {
+		t.Fatal("no sources measured")
+	}
+	if r.IOR < 1 || r.IOR > 4 {
+		t.Errorf("IOR = %v, want within (1, 4)", r.IOR)
+	}
+}
+
+func TestHopCampaignSmoke(t *testing.T) {
+	rows := HopCampaign{N: 100, Side: PaperSide, Range: PaperRange, Kappa: 2,
+		Instances: 4, Seed: 11}.Run()
+	if len(rows) < 2 {
+		t.Fatalf("hop buckets = %d, want >= 2", len(rows))
+	}
+	for i, r := range rows {
+		if r.Hops < 2 {
+			t.Errorf("bucket %d has hop count %d (< 2 means no relays)", i, r.Hops)
+		}
+		if r.Avg < 1 || r.Max < r.Avg {
+			t.Errorf("hops=%d: avg=%v max=%v inconsistent", r.Hops, r.Avg, r.Max)
+		}
+		if i > 0 && r.Hops <= rows[i-1].Hops {
+			t.Error("hop buckets not increasing")
+		}
+	}
+}
+
+func TestNodeCostCampaignSmoke(t *testing.T) {
+	rows := NodeCostCampaign{Side: PaperSide, Range: PaperRange, CostLo: 1, CostHi: 10,
+		Sizes: []int{100}, Instances: 3, Seed: 13}.Run()
+	r := rows[0]
+	if r.Sources == 0 {
+		t.Fatal("no sources measured")
+	}
+	if r.IOR < 1 {
+		t.Errorf("IOR = %v, want >= 1", r.IOR)
+	}
+}
+
+func TestRunFigureAllIDsQuick(t *testing.T) {
+	for _, id := range FigureIDs() {
+		s, err := RunFigure(id, false, 42)
+		if err != nil {
+			t.Fatalf("figure %s: %v", id, err)
+		}
+		if len(s.Rows) == 0 {
+			t.Errorf("figure %s: empty series", id)
+		}
+		var sb strings.Builder
+		s.Render(&sb)
+		if !strings.Contains(sb.String(), "Figure "+id) {
+			t.Errorf("figure %s: render missing title: %q", id, sb.String())
+		}
+	}
+	if _, err := RunFigure("9z", false, 1); err == nil {
+		t.Error("unknown figure accepted")
+	}
+}
+
+// TestDeterminism: same seed, same rows.
+func TestDeterminism(t *testing.T) {
+	run := func() []Row {
+		return UDGCampaign{Side: PaperSide, Range: PaperRange, Kappa: 2,
+			Sizes: []int{70}, Instances: 3, Seed: 21}.Run()
+	}
+	a, b := run(), run()
+	if a[0] != b[0] {
+		t.Errorf("non-deterministic rows: %+v vs %+v", a[0], b[0])
+	}
+}

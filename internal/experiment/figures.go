@@ -1,0 +1,229 @@
+package experiment
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Paper parameters (§III.G): region, range, node counts, instance
+// count, κ values, and the affine cost coefficient ranges.
+const (
+	PaperSide      = 2000.0
+	PaperRange     = 300.0
+	PaperInstances = 100
+	PaperRangeLo   = 100.0
+	PaperRangeHi   = 500.0
+	PaperC1Lo      = 300.0
+	PaperC1Hi      = 500.0
+	PaperC2Lo      = 10.0
+	PaperC2Hi      = 50.0
+	PaperHopN      = 300 // panel (d) network size
+)
+
+// PaperSizes are the node counts of Figure 3: 100, 150, ..., 500.
+func PaperSizes() []int {
+	var s []int
+	for n := 100; n <= 500; n += 50 {
+		s = append(s, n)
+	}
+	return s
+}
+
+// quickSizes keeps tests and smoke runs fast.
+func quickSizes() []int { return []int{60, 100} }
+
+// Series is a rendered experiment result: a titled table whose rows
+// are the series the paper plots.
+type Series struct {
+	Figure string
+	Title  string
+	Header []string
+	Rows   [][]string
+	// Notes records filtering counters (monopolies, disconnected
+	// sources) so no data is silently dropped.
+	Notes []string
+}
+
+// Render writes the series as an aligned text table.
+func (s *Series) Render(w io.Writer) {
+	fmt.Fprintf(w, "Figure %s — %s\n", s.Figure, s.Title)
+	widths := make([]int, len(s.Header))
+	for i, h := range s.Header {
+		widths[i] = len(h)
+	}
+	for _, r := range s.Rows {
+		for i, c := range r {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = fmt.Sprintf("%*s", widths[i], c)
+		}
+		fmt.Fprintln(w, "  "+strings.Join(parts, "  "))
+	}
+	line(s.Header)
+	for _, r := range s.Rows {
+		line(r)
+	}
+	for _, n := range s.Notes {
+		fmt.Fprintln(w, "  note: "+n)
+	}
+}
+
+// FigureIDs lists the reproducible experiments in order; "node" and
+// "topo" are this repository's extension experiments.
+func FigureIDs() []string {
+	return []string{"3a", "3b", "3c", "3d", "3e", "3f", "node", "topo", "life", "ptilde"}
+}
+
+// RunFigure regenerates one panel of Figure 3 (or the extra "node"
+// experiment). full selects the paper's exact parameters (100
+// instances, n up to 500 — minutes of CPU); otherwise a reduced
+// smoke-sized variant runs. The seed makes the run reproducible.
+func RunFigure(id string, full bool, seed uint64) (*Series, error) {
+	sizes, instances := quickSizes(), 5
+	hopN, hopInstances := 80, 5
+	if full {
+		sizes, instances = PaperSizes(), PaperInstances
+		hopN, hopInstances = PaperHopN, PaperInstances
+	}
+	switch id {
+	case "3a":
+		rows := UDGCampaign{Side: PaperSide, Range: PaperRange, Kappa: 2,
+			Sizes: sizes, Instances: instances, Seed: seed}.Run()
+		return renderIORvsTOR("3a", "IOR vs TOR, UDG, kappa=2", rows), nil
+	case "3b":
+		rows := UDGCampaign{Side: PaperSide, Range: PaperRange, Kappa: 2,
+			Sizes: sizes, Instances: instances, Seed: seed}.Run()
+		return renderOverpayment("3b", "overpayment, UDG, kappa=2", rows), nil
+	case "3c":
+		rows := UDGCampaign{Side: PaperSide, Range: PaperRange, Kappa: 2.5,
+			Sizes: sizes, Instances: instances, Seed: seed}.Run()
+		return renderOverpayment("3c", "overpayment, UDG, kappa=2.5", rows), nil
+	case "3d":
+		rows := HopCampaign{N: hopN, Side: PaperSide, Range: PaperRange, Kappa: 2,
+			Instances: hopInstances, Seed: seed}.Run()
+		s := &Series{Figure: "3d", Title: "overpayment vs hop distance, UDG, kappa=2",
+			Header: []string{"hops", "avg-ratio", "max-ratio", "sources"}}
+		for _, r := range rows {
+			s.Rows = append(s.Rows, []string{
+				fmt.Sprintf("%d", r.Hops), fmt.Sprintf("%.3f", r.Avg),
+				fmt.Sprintf("%.3f", r.Max), fmt.Sprintf("%d", r.Count)})
+		}
+		return s, nil
+	case "3e", "3f":
+		kappa := 2.0
+		if id == "3f" {
+			kappa = 2.5
+		}
+		rows := RangeCampaign{Side: PaperSide, RangeLo: PaperRangeLo, RangeHi: PaperRangeHi,
+			Kappa: kappa, C1Lo: PaperC1Lo, C1Hi: PaperC1Hi, C2Lo: PaperC2Lo, C2Hi: PaperC2Hi,
+			Sizes: sizes, Instances: instances, Seed: seed}.Run()
+		return renderOverpayment(id, fmt.Sprintf("overpayment, random ranges, kappa=%g", kappa), rows), nil
+	case "node":
+		rows := NodeCostCampaign{Side: PaperSide, Range: PaperRange, CostLo: 1, CostHi: 10,
+			Sizes: sizes, Instances: instances, Seed: seed}.Run()
+		return renderIORvsTOR("node", "IOR vs TOR, scalar node costs U[1,10), UDG", rows), nil
+	case "topo":
+		n := 100
+		if full {
+			n = PaperHopN
+		}
+		rows := TopologyCampaign{N: n, Side: PaperSide, Range: PaperRange, Kappa: 2,
+			Instances: instances, Seed: seed}.Run()
+		s := &Series{Figure: "topo", Title: fmt.Sprintf("overpayment by topology family, n=%d, kappa=2", n),
+			Header: []string{"topology", "avg-deg", "IOR", "TOR", "monopoly-srcs", "sources"}}
+		for _, r := range rows {
+			s.Rows = append(s.Rows, []string{
+				r.Name, fmt.Sprintf("%.1f", r.AvgDegree), fmt.Sprintf("%.3f", r.IOR),
+				fmt.Sprintf("%.3f", r.TOR), fmt.Sprintf("%d", r.Monopoly), fmt.Sprintf("%d", r.Sources)})
+		}
+		return s, nil
+	case "life":
+		n, sessions := 60, 1500
+		if full {
+			n, sessions = 150, 8000
+		}
+		// A denser region than Figure 3's: the lifetime story needs
+		// biconnectivity (monopoly-priced sessions block under the
+		// compensated policy and would confound the comparison).
+		rows := LifetimeCampaign{N: n, Side: 1000, Range: PaperRange, Kappa: 2,
+			Battery: 2000, Sessions: sessions, Packets: 1,
+			Instances: instances, Seed: seed}.Run()
+		s := &Series{Figure: "life",
+			Title:  fmt.Sprintf("delivery and lifetime by forwarding policy, n=%d, finite batteries", n),
+			Header: []string{"policy", "delivery", "first-death", "alive-at-end", "relay-profit"}}
+		for _, r := range rows {
+			s.Rows = append(s.Rows, []string{
+				r.Policy.String(), fmt.Sprintf("%.3f", r.DeliveryRate),
+				fmt.Sprintf("%.0f", r.FirstDeath), fmt.Sprintf("%.1f", r.AliveAtEnd),
+				fmt.Sprintf("%.0f", r.RelayProfit)})
+		}
+		return s, nil
+	case "ptilde":
+		sizes, inst := []int{150, 250}, 6
+		if full {
+			sizes, inst = []int{150, 250, 350, 500}, 30
+		}
+		// Short radios keep each closed neighbourhood small relative
+		// to the network: p̃'s G∖N(v_k) assumption needs many nodes
+		// outside every neighbourhood.
+		rows := ResilienceCampaign{Sizes: sizes, Side: 1000, Range: 150,
+			CostLo: 1, CostHi: 10, Instances: inst, Seed: seed}.Run()
+		s := &Series{Figure: "ptilde",
+			Title:  "price of neighbour-collusion resistance: p̃ total / plain VCG total",
+			Header: []string{"n", "premium", "ci95", "assumption-failed", "sources"}}
+		for _, r := range rows {
+			s.Rows = append(s.Rows, []string{
+				fmt.Sprintf("%d", r.Size), fmt.Sprintf("%.3f", r.Premium),
+				fmt.Sprintf("±%.3f", r.PremiumCI),
+				fmt.Sprintf("%d", r.AssumptionFailed), fmt.Sprintf("%d", r.Sources)})
+		}
+		return s, nil
+	default:
+		return nil, fmt.Errorf("experiment: unknown figure %q (have %v)", id, FigureIDs())
+	}
+}
+
+func renderIORvsTOR(fig, title string, rows []Row) *Series {
+	s := &Series{Figure: fig, Title: title,
+		Header: []string{"n", "IOR", "TOR", "IOR-full", "TOR-full", "sources", "ior-ci95"}}
+	for _, r := range rows {
+		s.Rows = append(s.Rows, []string{
+			fmt.Sprintf("%d", r.Size), fmt.Sprintf("%.3f", r.IOR),
+			fmt.Sprintf("%.3f", r.TOR), fmt.Sprintf("%.3f", r.IORFull),
+			fmt.Sprintf("%.3f", r.TORFull), fmt.Sprintf("%d", r.Sources),
+			fmt.Sprintf("±%.3f", r.IORCI)})
+		s.Notes = appendFilterNote(s.Notes, r)
+	}
+	return s
+}
+
+func renderOverpayment(fig, title string, rows []Row) *Series {
+	s := &Series{Figure: fig, Title: title,
+		Header: []string{"n", "avg-ratio", "avg-full", "avg-worst", "max-worst", "sources", "ratio-ci95"}}
+	for _, r := range rows {
+		s.Rows = append(s.Rows, []string{
+			fmt.Sprintf("%d", r.Size), fmt.Sprintf("%.3f", r.IOR),
+			fmt.Sprintf("%.3f", r.IORFull),
+			fmt.Sprintf("%.3f", r.AvgWorst), fmt.Sprintf("%.3f", r.MaxWorst),
+			fmt.Sprintf("%d", r.Sources),
+			fmt.Sprintf("±%.3f", r.IORCI)})
+		s.Notes = appendFilterNote(s.Notes, r)
+	}
+	return s
+}
+
+func appendFilterNote(notes []string, r Row) []string {
+	if r.Monopoly == 0 && r.Discon == 0 {
+		return notes
+	}
+	return append(notes, fmt.Sprintf(
+		"n=%d: skipped %d monopoly and %d disconnected sources across %d instances",
+		r.Size, r.Monopoly, r.Discon, r.Instances))
+}

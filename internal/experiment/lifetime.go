@@ -1,0 +1,81 @@
+package experiment
+
+import (
+	"math/rand/v2"
+
+	"truthroute/internal/netsim"
+	"truthroute/internal/stats"
+	"truthroute/internal/wireless"
+)
+
+// LifetimeCampaign is an extension experiment realizing the paper's
+// §I motivation (the lifetime/throughput trade-off of Srinivasan et
+// al. [1]): the same deployments run under three forwarding regimes —
+// altruistic, selfish, and VCG-compensated — with finite batteries.
+// It measures what the introduction argues: selfishness collapses
+// throughput, while the pricing mechanism restores it and relays end
+// up net-positive.
+type LifetimeCampaign struct {
+	N           int
+	Side, Range float64
+	Kappa       float64
+	Battery     float64 // initial energy per node
+	Sessions    int
+	Packets     int
+	Instances   int
+	Seed        uint64
+}
+
+// LifetimeRow is one policy's aggregate over the instances.
+type LifetimeRow struct {
+	Policy       netsim.Policy
+	DeliveryRate float64 // mean fraction of sessions delivered
+	FirstDeath   float64 // mean session index of the first battery death (NaN if none died)
+	AliveAtEnd   float64 // mean surviving nodes
+	RelayProfit  float64 // mean total relay profit (compensated only ≠ 0)
+	Instances    int
+}
+
+// Run executes the campaign.
+func (c LifetimeCampaign) Run() []LifetimeRow {
+	policies := []netsim.Policy{netsim.Altruistic, netsim.Selfish, netsim.Compensated}
+	rows := make([]LifetimeRow, 0, len(policies))
+	for _, pol := range policies {
+		pol := pol
+		type result struct {
+			rate, alive, profit float64
+			firstDeath          int
+		}
+		results := make([]result, c.Instances)
+		forEach(c.Instances, func(inst int) {
+			rng := rand.New(rand.NewPCG(c.Seed, uint64(inst)))
+			dep := wireless.PlaceUniform(c.N, c.Side, c.Range, rng)
+			lg := dep.LinkGraph(wireless.PathLoss{Kappa: c.Kappa, Unit: unitFor(c.Range)})
+			sim := netsim.New(lg, 0, pol, c.Battery)
+			// The session stream is drawn from a per-instance stream
+			// independent of the policy, so all three regimes see the
+			// same workload.
+			wl := rand.New(rand.NewPCG(c.Seed^0xbeef, uint64(inst)))
+			r := result{rate: sim.Run(c.Sessions, c.Packets, wl), firstDeath: sim.FirstDeath}
+			r.alive = float64(sim.AliveCount())
+			for v := 0; v < lg.N(); v++ {
+				r.profit += sim.NetProfit(v)
+			}
+			results[inst] = r
+		})
+		var rate, death, alive, profit stats.Acc
+		for _, r := range results {
+			rate.Add(r.rate)
+			if r.firstDeath >= 0 {
+				death.Add(float64(r.firstDeath))
+			}
+			alive.Add(r.alive)
+			profit.Add(r.profit)
+		}
+		rows = append(rows, LifetimeRow{
+			Policy: pol, DeliveryRate: rate.Mean(), FirstDeath: death.Mean(),
+			AliveAtEnd: alive.Mean(), RelayProfit: profit.Mean(), Instances: c.Instances,
+		})
+	}
+	return rows
+}

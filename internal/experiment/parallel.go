@@ -1,0 +1,40 @@
+package experiment
+
+import (
+	"runtime"
+	"sync"
+)
+
+// forEach runs fn(i) for i in [0, n) across GOMAXPROCS workers.
+// Campaign instances are independent (each derives its own PCG stream
+// from the campaign seed and the instance index) and results are
+// written into index-addressed slots, so parallel execution is
+// bit-identical to sequential — TestDeterminism guards this.
+func forEach(n int, fn func(i int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	work := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+}

@@ -1,0 +1,88 @@
+package experiment
+
+import (
+	"math"
+	"math/rand/v2"
+
+	"truthroute/internal/core"
+	"truthroute/internal/stats"
+	"truthroute/internal/wireless"
+)
+
+// ResilienceCampaign quantifies §III.E's closing remark that the
+// neighbourhood scheme p̃ is "optimum in terms of the individual
+// payment" among collusion-resistant schemes — optimal, but not
+// free: it measures the premium p̃ charges over plain VCG on the same
+// instances (the price of defending against neighbour coalitions),
+// and how often the stronger connectivity assumption (G∖N(v_k)
+// keeps the route alive) fails.
+type ResilienceCampaign struct {
+	Sizes       []int
+	Side, Range float64
+	CostLo      float64
+	CostHi      float64
+	Instances   int
+	Seed        uint64
+}
+
+// ResilienceRow aggregates one network size.
+type ResilienceRow struct {
+	Size int
+	// Premium is the mean, over sources, of p̃ total / plain total.
+	Premium float64
+	// PremiumCI is the 95% CI half-width of Premium across instances.
+	PremiumCI float64
+	// AssumptionFailed counts sources whose p̃ quote contains an
+	// unbounded payment (the neighbourhood assumption fails for some
+	// relay) — these are excluded from Premium.
+	AssumptionFailed int
+	Sources          int
+}
+
+// Run executes the campaign on the node-cost UDG workload.
+func (c ResilienceCampaign) Run() []ResilienceRow {
+	rows := make([]ResilienceRow, 0, len(c.Sizes))
+	for si, n := range c.Sizes {
+		type instRes struct {
+			premium        float64
+			failed, tested int
+		}
+		results := make([]instRes, c.Instances)
+		forEach(c.Instances, func(inst int) {
+			rng := rand.New(rand.NewPCG(c.Seed, uint64(si)<<32|uint64(inst)))
+			dep := wireless.PlaceUniform(n, c.Side, c.Range, rng)
+			g := dep.NodeCostUDG(c.CostLo, c.CostHi, rng)
+			var prem stats.Acc
+			failed := 0
+			for s := 1; s < n; s++ {
+				plain, err := core.UnicastQuote(g, s, 0, core.EngineFast)
+				if err != nil || len(plain.Relays()) == 0 || math.IsInf(plain.Total(), 1) {
+					continue
+				}
+				tilde, err := core.NeighborhoodQuote(g, s, 0)
+				if err != nil {
+					continue
+				}
+				if math.IsInf(tilde.Total(), 1) {
+					failed++
+					continue
+				}
+				prem.Add(tilde.Total() / plain.Total())
+			}
+			results[inst] = instRes{premium: prem.Mean(), failed: failed, tested: prem.N()}
+		})
+		var prem stats.Acc
+		row := ResilienceRow{Size: n}
+		for _, r := range results {
+			if !math.IsNaN(r.premium) {
+				prem.Add(r.premium)
+			}
+			row.AssumptionFailed += r.failed
+			row.Sources += r.tested
+		}
+		row.Premium = prem.Mean()
+		row.PremiumCI = prem.CI95()
+		rows = append(rows, row)
+	}
+	return rows
+}

@@ -1,0 +1,80 @@
+package experiment
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"truthroute/internal/core"
+	"truthroute/internal/graph"
+	"truthroute/internal/stats"
+	"truthroute/internal/wireless"
+)
+
+// TopologyCampaign is an extension experiment: the same deployments
+// and cost law as Figure 3(a), priced over different link-pruned
+// topologies. Topology control (Gabriel / RNG / k-NN structures)
+// saves energy by dropping redundant links, but every dropped link is
+// a dropped *detour*, so the VCG premium and the monopoly count rise
+// — quantifying the paper's remark that bi-connectivity is what keeps
+// overpayment bounded.
+type TopologyCampaign struct {
+	N           int
+	Side, Range float64
+	Kappa       float64
+	KNNk        int
+	Instances   int
+	Seed        uint64
+}
+
+// TopoRow is one topology's aggregate.
+type TopoRow struct {
+	Name      string
+	AvgDegree float64
+	IOR, TOR  float64
+	Monopoly  int // sources facing a monopolist relay
+	Sources   int
+}
+
+// Run executes the campaign over UDG, Gabriel, RNG and k-NN.
+func (c TopologyCampaign) Run() []TopoRow {
+	type topo struct {
+		name  string
+		build func(d *wireless.Deployment) *graph.NodeGraph
+	}
+	k := c.KNNk
+	if k == 0 {
+		k = 6
+	}
+	topos := []topo{
+		{"udg", func(d *wireless.Deployment) *graph.NodeGraph { return d.UDG() }},
+		{"gabriel", func(d *wireless.Deployment) *graph.NodeGraph { return d.Gabriel() }},
+		{"rng", func(d *wireless.Deployment) *graph.NodeGraph { return d.RNG() }},
+		{fmt.Sprintf("knn-%d", k), func(d *wireless.Deployment) *graph.NodeGraph { return d.KNN(k) }},
+	}
+	rows := make([]TopoRow, 0, len(topos))
+	model := wireless.PathLoss{Kappa: c.Kappa, Unit: unitFor(c.Range)}
+	for _, tp := range topos {
+		var deg stats.Acc
+		ms := make([]InstanceMetrics, c.Instances)
+		degs := make([]float64, c.Instances)
+		forEach(c.Instances, func(inst int) {
+			rng := rand.New(rand.NewPCG(c.Seed, uint64(inst)))
+			dep := wireless.PlaceUniform(c.N, c.Side, c.Range, rng)
+			structure := tp.build(dep)
+			degs[inst] = 2 * float64(structure.M()) / float64(structure.N())
+			lg := dep.LinkSubgraph(structure, model)
+			quotes := core.AllLinkQuotes(lg, 0)
+			ms[inst] = Measure(quotes, LinkOwnCost(lg))
+		})
+		for _, d := range degs {
+			deg.Add(d)
+		}
+		agg := aggregate(c.N, c.Instances, ms)
+		rows = append(rows, TopoRow{
+			Name: tp.name, AvgDegree: deg.Mean(),
+			IOR: agg.IOR, TOR: agg.TOR,
+			Monopoly: agg.Monopoly, Sources: agg.Sources,
+		})
+	}
+	return rows
+}

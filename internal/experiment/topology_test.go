@@ -1,0 +1,53 @@
+package experiment
+
+import (
+	"testing"
+)
+
+// TestTopologyCampaignOrdering asserts the experiment's qualitative
+// story: pruning links (UDG → Gabriel → RNG) lowers degree and raises
+// both the VCG premium and the monopoly count — redundancy is what
+// keeps truthful routing affordable.
+func TestTopologyCampaignOrdering(t *testing.T) {
+	rows := TopologyCampaign{N: 90, Side: PaperSide, Range: PaperRange,
+		Kappa: 2, Instances: 4, Seed: 5}.Run()
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d, want 4", len(rows))
+	}
+	byName := map[string]TopoRow{}
+	for _, r := range rows {
+		byName[r.Name] = r
+	}
+	udg, gab, rng := byName["udg"], byName["gabriel"], byName["rng"]
+	if !(udg.AvgDegree > gab.AvgDegree && gab.AvgDegree > rng.AvgDegree) {
+		t.Errorf("degree ordering violated: udg %.1f gabriel %.1f rng %.1f",
+			udg.AvgDegree, gab.AvgDegree, rng.AvgDegree)
+	}
+	if !(udg.IOR < gab.IOR && gab.IOR < rng.IOR) {
+		t.Errorf("premium ordering violated: udg %.2f gabriel %.2f rng %.2f",
+			udg.IOR, gab.IOR, rng.IOR)
+	}
+	if !(udg.Monopoly <= gab.Monopoly && gab.Monopoly <= rng.Monopoly) {
+		t.Errorf("monopoly ordering violated: udg %d gabriel %d rng %d",
+			udg.Monopoly, gab.Monopoly, rng.Monopoly)
+	}
+	// k-NN with k=6 keeps enough redundancy to stay near the UDG.
+	knn := byName["knn-6"]
+	if knn.IOR > gab.IOR {
+		t.Errorf("knn-6 IOR %.2f should stay below gabriel's %.2f", knn.IOR, gab.IOR)
+	}
+}
+
+func TestTopologyCampaignDefaultK(t *testing.T) {
+	rows := TopologyCampaign{N: 40, Side: 1000, Range: 400, Kappa: 2,
+		Instances: 2, Seed: 6}.Run()
+	found := false
+	for _, r := range rows {
+		if r.Name == "knn-6" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("default k should be 6")
+	}
+}

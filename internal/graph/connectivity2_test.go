@@ -1,0 +1,142 @@
+package graph
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func TestVertexConnectivityBasics(t *testing.T) {
+	cases := []struct {
+		name  string
+		build func() *NodeGraph
+		s, t  int
+		want  int
+	}{
+		{"path", func() *NodeGraph {
+			g := NewNodeGraph(3)
+			g.AddEdge(0, 1)
+			g.AddEdge(1, 2)
+			return g
+		}, 0, 2, 1},
+		{"ring", func() *NodeGraph { return Ring(6) }, 0, 3, 2},
+		{"complete", func() *NodeGraph { return Complete(5) }, 0, 4, 4},
+		{"disconnected", func() *NodeGraph { return NewNodeGraph(3) }, 0, 2, 0},
+		{"adjacent-on-ring", func() *NodeGraph { return Ring(5) }, 0, 1, 2},
+		{"three-paths", func() *NodeGraph {
+			g := NewNodeGraph(5)
+			for _, e := range [][2]int{{0, 1}, {1, 4}, {0, 2}, {2, 4}, {0, 3}, {3, 4}} {
+				g.AddEdge(e[0], e[1])
+			}
+			return g
+		}, 0, 4, 3},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if got := c.build().VertexConnectivity(c.s, c.t); got != c.want {
+				t.Errorf("connectivity = %d, want %d", got, c.want)
+			}
+		})
+	}
+}
+
+// bruteMinCut finds the smallest interior vertex set whose removal
+// disconnects s from t (exponential; tiny graphs only). Returns n
+// when no cut exists (adjacent endpoints).
+func bruteMinCut(g *NodeGraph, s, t int) int {
+	n := g.N()
+	var interior []int
+	for v := 0; v < n; v++ {
+		if v != s && v != t {
+			interior = append(interior, v)
+		}
+	}
+	best := -1
+	for mask := 0; mask < 1<<len(interior); mask++ {
+		var cut []int
+		for i, v := range interior {
+			if mask&(1<<i) != 0 {
+				cut = append(cut, v)
+			}
+		}
+		if best >= 0 && len(cut) >= best {
+			continue
+		}
+		if !g.ConnectedWithout(s, t, cut) {
+			best = len(cut)
+		}
+	}
+	if best < 0 {
+		return n // no interior cut separates them
+	}
+	return best
+}
+
+// TestQuickVertexConnectivityMatchesMenger: max-flow equals the brute
+// minimum vertex cut (Menger) on random small graphs without the
+// direct s-t edge; with the edge, connectivity = cut + 1 is checked
+// separately below.
+func TestQuickVertexConnectivityMatchesMenger(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 130))
+		n := 4 + rng.IntN(7)
+		g := ErdosRenyi(n, 0.4, rng)
+		s, tt := 0, n-1
+		hadEdge := g.HasEdge(s, tt)
+		if hadEdge {
+			g.RemoveEdge(s, tt)
+		}
+		got := g.VertexConnectivity(s, tt)
+		want := bruteMinCut(g, s, tt)
+		if want == n { // brute says "no cut": only when disconnected? no — means always connected
+			// With no direct edge and n-2 interior nodes, removing
+			// all interiors must disconnect, so want < n unless
+			// already disconnected (want would be 0 then, not n).
+			t.Logf("seed %d: unexpected no-cut result", seed)
+			return false
+		}
+		if got != want {
+			t.Logf("seed %d: flow %d, brute cut %d", seed, got, want)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVertexConnectivityDirectEdgeAddsOne(t *testing.T) {
+	// Diamond plus the direct edge: 2 disjoint interior paths + 1.
+	g := NewNodeGraph(4)
+	for _, e := range [][2]int{{0, 1}, {1, 3}, {0, 2}, {2, 3}, {0, 3}} {
+		g.AddEdge(e[0], e[1])
+	}
+	if got := g.VertexConnectivity(0, 3); got != 3 {
+		t.Errorf("connectivity = %d, want 3", got)
+	}
+}
+
+func TestCollusionResilience(t *testing.T) {
+	if got := Figure2().CollusionResilience(1, 0); got != 2 {
+		t.Errorf("Figure2 resilience = %d, want 2 (three disjoint routes)", got)
+	}
+	path := NewNodeGraph(3)
+	path.AddEdge(0, 1)
+	path.AddEdge(1, 2)
+	if got := path.CollusionResilience(0, 2); got != 0 {
+		t.Errorf("path resilience = %d, want 0 (monopoly)", got)
+	}
+	if got := NewNodeGraph(2).CollusionResilience(0, 1); got != -1 {
+		t.Errorf("disconnected resilience = %d, want -1", got)
+	}
+}
+
+func TestVertexConnectivityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("s == t did not panic")
+		}
+	}()
+	Figure2().VertexConnectivity(1, 1)
+}

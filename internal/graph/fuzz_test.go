@@ -1,0 +1,82 @@
+package graph
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// Fuzz targets for the three JSON graph parsers: arbitrary input must
+// either fail cleanly or produce a graph that re-marshals and
+// re-parses to the same structure. Run with `go test -fuzz` to
+// explore; the seed corpus runs as ordinary unit tests.
+
+func FuzzReadNodeGraph(f *testing.F) {
+	seed, _ := json.Marshal(Figure2())
+	f.Add(seed)
+	f.Add([]byte(`{"nodes":[0,1],"edges":[[0,1]]}`))
+	f.Add([]byte(`{"nodes":[],"edges":[]}`))
+	f.Add([]byte(`{"nodes":[1e308,0],"edges":[[0,1],[1,0]]}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g, err := ReadNodeGraph(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		out, err := json.Marshal(g)
+		if err != nil {
+			t.Fatalf("parsed graph failed to marshal: %v", err)
+		}
+		back, err := ReadNodeGraph(bytes.NewReader(out))
+		if err != nil {
+			t.Fatalf("round trip failed: %v", err)
+		}
+		if back.N() != g.N() || back.M() != g.M() {
+			t.Fatalf("round trip changed shape: %d/%d -> %d/%d", g.N(), g.M(), back.N(), back.M())
+		}
+	})
+}
+
+func FuzzReadLinkGraph(f *testing.F) {
+	f.Add([]byte(`{"n":3,"arcs":[{"from":0,"to":1,"w":1},{"from":1,"to":2,"w":2}]}`))
+	f.Add([]byte(`{"n":0,"arcs":[]}`))
+	f.Add([]byte(`{"n":2,"arcs":[{"from":0,"to":1,"w":0}]}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g, err := ReadLinkGraph(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		out, err := json.Marshal(g)
+		if err != nil {
+			t.Fatalf("parsed graph failed to marshal: %v", err)
+		}
+		back, err := ReadLinkGraph(bytes.NewReader(out))
+		if err != nil {
+			t.Fatalf("round trip failed: %v", err)
+		}
+		if back.N() != g.N() || back.M() != g.M() {
+			t.Fatalf("round trip changed shape")
+		}
+	})
+}
+
+func FuzzReadEdgeWeighted(f *testing.F) {
+	f.Add([]byte(`{"n":3,"edges":[{"u":0,"v":1,"w":1},{"u":1,"v":2,"w":2}]}`))
+	f.Add([]byte(`{"n":1,"edges":[]}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g, err := ReadEdgeWeighted(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		out, err := json.Marshal(g)
+		if err != nil {
+			t.Fatalf("parsed graph failed to marshal: %v", err)
+		}
+		back, err := ReadEdgeWeighted(bytes.NewReader(out))
+		if err != nil {
+			t.Fatalf("round trip failed: %v", err)
+		}
+		if back.N() != g.N() || back.M() != g.M() {
+			t.Fatalf("round trip changed shape")
+		}
+	})
+}

@@ -1,0 +1,74 @@
+package graph
+
+import (
+	"testing"
+)
+
+func TestKHopNeighborhood(t *testing.T) {
+	// Path 0-1-2-3-4.
+	g := NewNodeGraph(5)
+	for i := 0; i < 4; i++ {
+		g.AddEdge(i, i+1)
+	}
+	cases := []struct {
+		v, k int
+		want []int
+	}{
+		{2, 0, []int{2}},
+		{2, 1, []int{1, 2, 3}},
+		{2, 2, []int{0, 1, 2, 3, 4}},
+		{0, 1, []int{0, 1}},
+		{0, 10, []int{0, 1, 2, 3, 4}},
+	}
+	for _, c := range cases {
+		got := g.KHopNeighborhood(c.v, c.k)
+		if len(got) != len(c.want) {
+			t.Errorf("KHop(%d,%d) = %v, want %v", c.v, c.k, got, c.want)
+			continue
+		}
+		for i := range c.want {
+			if got[i] != c.want[i] {
+				t.Errorf("KHop(%d,%d) = %v, want %v", c.v, c.k, got, c.want)
+				break
+			}
+		}
+	}
+}
+
+func TestKHopOneMatchesNeighbors(t *testing.T) {
+	g := Figure4()
+	for v := 0; v < g.N(); v++ {
+		got := g.KHopNeighborhood(v, 1)
+		want := append([]int{v}, g.Neighbors(v)...)
+		if len(got) != len(want) {
+			t.Fatalf("v=%d: %v vs closed nbhd %v", v, got, want)
+		}
+		seen := map[int]bool{}
+		for _, x := range got {
+			seen[x] = true
+		}
+		for _, x := range want {
+			if !seen[x] {
+				t.Fatalf("v=%d: missing %d", v, x)
+			}
+		}
+	}
+}
+
+func TestKHopPanicsOnNegative(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic on negative k")
+		}
+	}()
+	Figure2().KHopNeighborhood(0, -1)
+}
+
+func TestKHopDisconnected(t *testing.T) {
+	g := NewNodeGraph(4)
+	g.AddEdge(0, 1)
+	got := g.KHopNeighborhood(0, 5)
+	if len(got) != 2 || got[0] != 0 || got[1] != 1 {
+		t.Errorf("KHop over a disconnected graph = %v, want [0 1]", got)
+	}
+}

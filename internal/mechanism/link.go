@@ -1,0 +1,124 @@
+package mechanism
+
+import (
+	"fmt"
+
+	"truthroute/internal/core"
+	"truthroute/internal/graph"
+)
+
+// LinkMechanism maps a declared link-cost profile to a routing
+// decision and payments (the §III.F model, where an agent's type is
+// the vector of its out-link costs).
+type LinkMechanism func(declared *graph.LinkGraph) (*core.Quote, error)
+
+// LinkVCG adapts core.LinkQuote for the verifiers.
+func LinkVCG(s, t int) LinkMechanism {
+	return func(declared *graph.LinkGraph) (*core.Quote, error) {
+		return core.LinkQuote(declared, s, t)
+	}
+}
+
+// LinkUtility returns node k's utility under a quote in the link
+// model: its payment minus the *true* cost of the out-link the path
+// actually uses (w^{i_k} = −c_{i_k, i_{k−1}}, §III.F).
+func LinkUtility(q *core.Quote, k int, trueG *graph.LinkGraph) float64 {
+	u := q.Payments[k]
+	for i := 1; i+1 < len(q.Path); i++ {
+		if q.Path[i] == k {
+			u -= trueG.Weight(k, q.Path[i+1])
+			break
+		}
+	}
+	return u
+}
+
+// LinkViolation records a profitable vector lie in the link model.
+type LinkViolation struct {
+	Node         int
+	Description  string
+	TruthUtility float64
+	LieUtility   float64
+}
+
+func (v LinkViolation) String() string {
+	return fmt.Sprintf("node %d: %s raises utility %g -> %g",
+		v.Node, v.Description, v.TruthUtility, v.LieUtility)
+}
+
+// linkDeviations enumerates the vector lies tried per agent: scaling
+// the whole out-vector and scaling each single out-link, both up and
+// down — the natural manipulations of a node that can overstate or
+// understate individual radio powers.
+func linkDeviations(trueG *graph.LinkGraph, k int) []struct {
+	desc  string
+	apply func(*graph.LinkGraph)
+} {
+	var out []struct {
+		desc  string
+		apply func(*graph.LinkGraph)
+	}
+	for _, f := range []float64{0, 0.5, 0.8, 1.25, 2, 10} {
+		f := f
+		out = append(out, struct {
+			desc  string
+			apply func(*graph.LinkGraph)
+		}{
+			desc: fmt.Sprintf("scale all out-links by %g", f),
+			apply: func(g *graph.LinkGraph) {
+				for _, a := range trueG.Out(k) {
+					g.SetWeight(k, a.To, a.W*f)
+				}
+			},
+		})
+	}
+	for _, a := range trueG.Out(k) {
+		a := a
+		for _, f := range []float64{0, 0.5, 2, 10} {
+			f := f
+			out = append(out, struct {
+				desc  string
+				apply func(*graph.LinkGraph)
+			}{
+				desc: fmt.Sprintf("scale out-link to %d by %g", a.To, f),
+				apply: func(g *graph.LinkGraph) {
+					g.SetWeight(k, a.To, a.W*f)
+				},
+			})
+		}
+	}
+	return out
+}
+
+// VerifyLinkStrategyproof tries, for every node, the vector lies of
+// linkDeviations (all other declarations truthful) and returns the
+// profitable ones. The §III.F payment is a VCG mechanism over vector
+// types, so the result must be empty; see link_test.go.
+func VerifyLinkStrategyproof(trueG *graph.LinkGraph, s, t int, m LinkMechanism) ([]LinkViolation, error) {
+	truthQ, err := m(trueG)
+	if err != nil {
+		return nil, fmt.Errorf("mechanism: truthful run: %w", err)
+	}
+	var out []LinkViolation
+	for k := 0; k < trueG.N(); k++ {
+		if k == s || k == t {
+			continue
+		}
+		truthU := LinkUtility(truthQ, k, trueG)
+		for _, dev := range linkDeviations(trueG, k) {
+			lied := trueG.Clone()
+			dev.apply(lied)
+			lieQ, err := m(lied)
+			var lieU float64
+			if err != nil {
+				lieU = 0
+			} else {
+				lieU = LinkUtility(lieQ, k, trueG)
+			}
+			if lieU > truthU+epsilon {
+				out = append(out, LinkViolation{Node: k, Description: dev.desc, TruthUtility: truthU, LieUtility: lieU})
+			}
+		}
+	}
+	return out, nil
+}

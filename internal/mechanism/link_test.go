@@ -1,0 +1,88 @@
+package mechanism
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"truthroute/internal/core"
+	"truthroute/internal/graph"
+	"truthroute/internal/sp"
+)
+
+func TestLinkUtility(t *testing.T) {
+	g := graph.NewLinkGraph(4)
+	g.AddArc(0, 1, 1)
+	g.AddArc(1, 3, 2)
+	g.AddArc(0, 2, 3)
+	g.AddArc(2, 3, 3)
+	q, err := LinkVCG(0, 3)(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// p^1 = 2 + (6 − 3) = 5; utility = 5 − 2 = 3.
+	if u := LinkUtility(q, 1, g); u != 3 {
+		t.Errorf("utility of relay 1 = %v, want 3", u)
+	}
+	if u := LinkUtility(q, 2, g); u != 0 {
+		t.Errorf("utility of off-path 2 = %v, want 0", u)
+	}
+}
+
+// TestQuickLinkVCGIsStrategyproof: the §III.F vector-type payment is
+// VCG, so no scaling of a node's out-cost vector (whole or per-link)
+// may raise its utility.
+func TestQuickLinkVCGIsStrategyproof(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 70))
+		n := 4 + rng.IntN(10)
+		g := graph.RandomLinkGraph(n, 0.45, 0.1, 5, rng)
+		s := 1 + rng.IntN(n-1)
+		m := LinkVCG(s, 0)
+		if _, err := m(g); err != nil {
+			return true // s cannot reach 0; nothing to test
+		}
+		viol, err := VerifyLinkStrategyproof(g, s, 0, m)
+		if err != nil {
+			t.Log(err)
+			return false
+		}
+		if len(viol) > 0 {
+			t.Logf("seed %d: %v", seed, viol[0])
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLinkFirstPriceNotStrategyproof sanity-checks the verifier by
+// feeding it a broken mechanism: pay each relay its declared
+// used-link cost only (no bonus). Padding is then profitable.
+func TestLinkFirstPriceNotStrategyproof(t *testing.T) {
+	g := graph.NewLinkGraph(4)
+	g.AddArc(0, 1, 1)
+	g.AddArc(1, 3, 2)
+	g.AddArc(0, 2, 3)
+	g.AddArc(2, 3, 3)
+	firstPrice := LinkMechanism(func(d *graph.LinkGraph) (*core.Quote, error) {
+		path, cost := sp.LinkPath(d, 0, 3)
+		if path == nil {
+			return nil, core.ErrNoPath
+		}
+		q := &core.Quote{Source: 0, Target: 3, Path: path, Cost: cost, Payments: map[int]float64{}}
+		for i := 1; i+1 < len(path); i++ {
+			q.Payments[path[i]] = d.Weight(path[i], path[i+1])
+		}
+		return q, nil
+	})
+	viol, err := VerifyLinkStrategyproof(g, 0, 3, firstPrice)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(viol) == 0 {
+		t.Fatal("first-price link mechanism should admit padding lies")
+	}
+}

@@ -1,0 +1,164 @@
+package pq
+
+// Pairing is an indexed pairing heap. Pairing heaps give amortized
+// O(1) insert/meld and o(log n) DecreaseKey, which is why they are a
+// popular Fibonacci-heap stand-in for Dijkstra in practice. Nodes are
+// preallocated per id so DecreaseKey can find its node in O(1).
+type Pairing struct {
+	nodes []pairNode
+	root  int // id of the root node, -1 when empty
+	n     int
+}
+
+type pairNode struct {
+	prio    float64
+	child   int // leftmost child id, -1 if none
+	sibling int // next sibling id, -1 if none
+	prev    int // parent if first child, else previous sibling; -1 for root
+	in      bool
+}
+
+// NewPairing returns an empty pairing heap able to hold ids in
+// [0, capacity).
+func NewPairing(capacity int) *Pairing {
+	p := &Pairing{nodes: make([]pairNode, capacity), root: -1}
+	for i := range p.nodes {
+		p.nodes[i] = pairNode{child: -1, sibling: -1, prev: -1}
+	}
+	return p
+}
+
+// Len reports the number of queued items.
+func (p *Pairing) Len() int { return p.n }
+
+// Contains reports whether id is currently queued.
+func (p *Pairing) Contains(id int) bool { return p.nodes[id].in }
+
+// Priority returns the current priority of a queued id.
+func (p *Pairing) Priority(id int) float64 {
+	if !p.nodes[id].in {
+		panic("pq: Priority of item not in queue")
+	}
+	return p.nodes[id].prio
+}
+
+// Push inserts id with the given priority.
+func (p *Pairing) Push(id int, priority float64) {
+	if p.nodes[id].in {
+		panic("pq: Push of item already in queue")
+	}
+	p.nodes[id] = pairNode{prio: priority, child: -1, sibling: -1, prev: -1, in: true}
+	p.root = p.meld(p.root, id)
+	p.n++
+}
+
+// Pop removes and returns the minimum-priority item.
+func (p *Pairing) Pop() (int, float64) {
+	if p.root < 0 {
+		panic("pq: Pop from empty queue")
+	}
+	id := p.root
+	prio := p.nodes[id].prio
+	p.root = p.mergePairs(p.nodes[id].child)
+	if p.root >= 0 {
+		p.nodes[p.root].prev = -1
+		p.nodes[p.root].sibling = -1
+	}
+	p.nodes[id].in = false
+	p.nodes[id].child = -1
+	p.n--
+	return id, prio
+}
+
+// DecreaseKey lowers the priority of a queued id.
+func (p *Pairing) DecreaseKey(id int, priority float64) {
+	nd := &p.nodes[id]
+	if !nd.in {
+		panic("pq: DecreaseKey of item not in queue")
+	}
+	if priority > nd.prio {
+		panic("pq: DecreaseKey would increase priority")
+	}
+	nd.prio = priority
+	if id == p.root {
+		return
+	}
+	p.cut(id)
+	p.root = p.meld(p.root, id)
+}
+
+// cut detaches id from its parent's child list.
+func (p *Pairing) cut(id int) {
+	nd := &p.nodes[id]
+	prev := nd.prev
+	sib := nd.sibling
+	if prev >= 0 {
+		if p.nodes[prev].child == id {
+			p.nodes[prev].child = sib
+		} else {
+			p.nodes[prev].sibling = sib
+		}
+	}
+	if sib >= 0 {
+		p.nodes[sib].prev = prev
+	}
+	nd.prev = -1
+	nd.sibling = -1
+}
+
+// meld links two root nodes and returns the id of the smaller one.
+func (p *Pairing) meld(a, b int) int {
+	if a < 0 {
+		return b
+	}
+	if b < 0 {
+		return a
+	}
+	if less(p.nodes[b].prio, b, p.nodes[a].prio, a) {
+		a, b = b, a
+	}
+	// b becomes the first child of a.
+	first := p.nodes[a].child
+	p.nodes[b].sibling = first
+	if first >= 0 {
+		p.nodes[first].prev = b
+	}
+	p.nodes[b].prev = a
+	p.nodes[a].child = b
+	p.nodes[a].prev = -1
+	p.nodes[a].sibling = -1
+	return a
+}
+
+// mergePairs performs the standard two-pass pairing of a sibling list
+// and returns the id of the resulting root (-1 for an empty list).
+func (p *Pairing) mergePairs(first int) int {
+	if first < 0 {
+		return -1
+	}
+	// First pass: meld adjacent pairs left to right.
+	var pairs []int
+	for cur := first; cur >= 0; {
+		a := cur
+		b := p.nodes[a].sibling
+		var next int = -1
+		if b >= 0 {
+			next = p.nodes[b].sibling
+		}
+		// Detach a and b from the sibling chain before melding.
+		p.nodes[a].sibling, p.nodes[a].prev = -1, -1
+		if b >= 0 {
+			p.nodes[b].sibling, p.nodes[b].prev = -1, -1
+			pairs = append(pairs, p.meld(a, b))
+		} else {
+			pairs = append(pairs, a)
+		}
+		cur = next
+	}
+	// Second pass: meld right to left.
+	root := pairs[len(pairs)-1]
+	for i := len(pairs) - 2; i >= 0; i-- {
+		root = p.meld(pairs[i], root)
+	}
+	return root
+}

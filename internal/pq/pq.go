@@ -1,0 +1,41 @@
+// Package pq provides indexed priority queues keyed by float64
+// priorities, specialized for shortest-path computations where items
+// are small non-negative integer ids (graph vertices or edges).
+//
+// Two implementations are provided with the same interface: a classic
+// array-backed binary heap (Binary) and a pairing heap (Pairing).
+// Both support DecreaseKey in O(log n) / amortized o(log n)
+// respectively, which is what Dijkstra-style relaxations need.
+package pq
+
+// Queue is the common interface implemented by Binary and Pairing.
+// Items are dense integer ids in [0, capacity). Each id may be in the
+// queue at most once.
+type Queue interface {
+	// Len reports the number of items currently queued.
+	Len() int
+	// Push inserts id with the given priority. It panics if id is
+	// already queued or out of range.
+	Push(id int, priority float64)
+	// Pop removes and returns the id with the smallest priority,
+	// breaking ties by smaller id for determinism.
+	Pop() (id int, priority float64)
+	// DecreaseKey lowers the priority of a queued id. It panics if id
+	// is not queued or the new priority is greater than the current
+	// one.
+	DecreaseKey(id int, priority float64)
+	// Contains reports whether id is currently queued.
+	Contains(id int) bool
+	// Priority returns the current priority of a queued id.
+	Priority(id int) float64
+}
+
+// less orders (priority, id) pairs; ties on priority break by id so
+// that every Queue implementation pops in the same deterministic
+// order, which keeps simulations reproducible across heap choices.
+func less(p1 float64, id1 int, p2 float64, id2 int) bool {
+	if p1 != p2 {
+		return p1 < p2
+	}
+	return id1 < id2
+}

@@ -1,0 +1,207 @@
+// Package sp implements the shortest-path machinery the pricing
+// mechanism is built on: Dijkstra over node-weighted undirected
+// graphs (the paper's §II.B cost model, where a path's cost is the
+// sum of its *interior* node costs), Dijkstra over directed
+// link-weighted graphs (the §III.F power-cost model), shortest path
+// trees, and naive replacement-path computation (the baseline that
+// the fast Algorithm 1 in internal/core is verified against).
+//
+// Cost convention: for node-weighted graphs, Dist(src, v) is the sum
+// of relay costs strictly between src and v — both endpoints are
+// excluded, matching ||P(v_i, v_j, d)|| in the paper. Two adjacent
+// nodes are therefore at distance 0.
+package sp
+
+import (
+	"math"
+
+	"truthroute/internal/graph"
+	"truthroute/internal/pq"
+)
+
+// Inf marks unreachable nodes.
+var Inf = math.Inf(1)
+
+// Tree is a shortest path tree rooted at Src. Parent[Src] = -1 and
+// Parent[v] = -1 also for unreachable v (Dist[v] = +Inf).
+type Tree struct {
+	Src    int
+	Dist   []float64
+	Parent []int
+	// Order lists reachable nodes in the order Dijkstra settled
+	// them (non-decreasing distance), starting with Src.
+	Order []int
+}
+
+// PathTo reconstructs the tree path from the root to v (inclusive of
+// both endpoints). It returns nil when v is unreachable.
+func (t *Tree) PathTo(v int) []int {
+	if v != t.Src && t.Parent[v] < 0 {
+		return nil
+	}
+	var rev []int
+	for u := v; u != -1; u = t.Parent[u] {
+		rev = append(rev, u)
+		if u == t.Src {
+			break
+		}
+	}
+	if rev[len(rev)-1] != t.Src {
+		return nil
+	}
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev
+}
+
+// Reachable reports whether v is reachable from the root.
+func (t *Tree) Reachable(v int) bool { return !math.IsInf(t.Dist[v], 1) }
+
+// NewQueue selects the priority queue implementation used by all
+// Dijkstra variants in this package; it is a variable so benchmarks
+// can ablate binary vs pairing heaps.
+var NewQueue = func(capacity int) pq.Queue { return pq.NewBinary(capacity) }
+
+// NodeDijkstra computes the shortest path tree from src in a
+// node-weighted graph, where a path's cost is the sum of the costs of
+// its interior nodes. banned (optional, may be nil) marks nodes that
+// must not appear on any path; a banned src still produces a tree
+// (the source never pays itself and is never "removed" in the
+// replacement-path computations).
+func NodeDijkstra(g *graph.NodeGraph, src int, banned []bool) *Tree {
+	n := g.N()
+	t := &Tree{Src: src, Dist: make([]float64, n), Parent: make([]int, n)}
+	for i := range t.Dist {
+		t.Dist[i] = Inf
+		t.Parent[i] = -1
+	}
+	t.Dist[src] = 0
+	q := NewQueue(n)
+	q.Push(src, 0)
+	for q.Len() > 0 {
+		u, du := q.Pop()
+		t.Order = append(t.Order, u)
+		// The "arc weight" out of u is u's relay cost, except that
+		// the source relays nothing for itself.
+		w := g.Cost(u)
+		if u == src {
+			w = 0
+		}
+		for _, v := range g.Neighbors(u) {
+			if banned != nil && banned[v] {
+				continue
+			}
+			nd := du + w
+			if nd < t.Dist[v] {
+				t.Dist[v] = nd
+				t.Parent[v] = u
+				if q.Contains(v) {
+					q.DecreaseKey(v, nd)
+				} else {
+					q.Push(v, nd)
+				}
+			}
+		}
+	}
+	return t
+}
+
+// LinkDijkstra computes the shortest path tree from src in a
+// directed link-weighted graph (arc weights sum along the path;
+// weights of +Inf are treated as absent arcs). banned nodes are never
+// entered. If reverse is true the tree follows arcs backwards,
+// yielding distances *to* src — what the destination-rooted SPT of
+// the distributed protocol needs.
+func LinkDijkstra(g *graph.LinkGraph, src int, banned []bool, reverse bool) *Tree {
+	n := g.N()
+	t := &Tree{Src: src, Dist: make([]float64, n), Parent: make([]int, n)}
+	for i := range t.Dist {
+		t.Dist[i] = Inf
+		t.Parent[i] = -1
+	}
+	var rev [][]graph.Arc
+	if reverse {
+		rev = make([][]graph.Arc, n)
+		for u := 0; u < n; u++ {
+			for _, a := range g.Out(u) {
+				if a.W < Inf {
+					rev[a.To] = append(rev[a.To], graph.Arc{To: u, W: a.W})
+				}
+			}
+		}
+	}
+	arcs := func(u int) []graph.Arc {
+		if reverse {
+			return rev[u]
+		}
+		return g.Out(u)
+	}
+	t.Dist[src] = 0
+	q := NewQueue(n)
+	q.Push(src, 0)
+	for q.Len() > 0 {
+		u, du := q.Pop()
+		t.Order = append(t.Order, u)
+		for _, a := range arcs(u) {
+			if a.W >= Inf || (banned != nil && banned[a.To]) {
+				continue
+			}
+			nd := du + a.W
+			if nd < t.Dist[a.To] {
+				t.Dist[a.To] = nd
+				t.Parent[a.To] = u
+				if q.Contains(a.To) {
+					q.DecreaseKey(a.To, nd)
+				} else {
+					q.Push(a.To, nd)
+				}
+			}
+		}
+	}
+	return t
+}
+
+// NodePath returns the least cost path from s to t (inclusive) and
+// its interior cost, or (nil, +Inf) when t is unreachable.
+func NodePath(g *graph.NodeGraph, s, t int) ([]int, float64) {
+	tree := NodeDijkstra(g, s, nil)
+	if !tree.Reachable(t) {
+		return nil, Inf
+	}
+	return tree.PathTo(t), tree.Dist[t]
+}
+
+// LinkPath returns the least cost directed path from s to t and its
+// total arc weight, or (nil, +Inf) when t is unreachable.
+func LinkPath(g *graph.LinkGraph, s, t int) ([]int, float64) {
+	tree := LinkDijkstra(g, s, nil, false)
+	if !tree.Reachable(t) {
+		return nil, Inf
+	}
+	return tree.PathTo(t), tree.Dist[t]
+}
+
+// HopDistances returns the unweighted BFS hop count from src to
+// every node (-1 when unreachable); Figure 3(d) buckets nodes by this
+// quantity.
+func HopDistances(g *graph.NodeGraph, src int) []int {
+	n := g.N()
+	hops := make([]int, n)
+	for i := range hops {
+		hops[i] = -1
+	}
+	hops[src] = 0
+	queue := []int{src}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, v := range g.Neighbors(u) {
+			if hops[v] < 0 {
+				hops[v] = hops[u] + 1
+				queue = append(queue, v)
+			}
+		}
+	}
+	return hops
+}

@@ -1,0 +1,164 @@
+package wireless
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"truthroute/internal/graph"
+)
+
+func testDeployment(seed uint64, n int) *Deployment {
+	rng := rand.New(rand.NewPCG(seed, 1000))
+	return PlaceUniform(n, 1200, 400, rng)
+}
+
+// subgraphOf reports whether every edge of a is an edge of b.
+func subgraphOf(a, b *graph.NodeGraph) bool {
+	for _, e := range a.Edges() {
+		if !b.HasEdge(e[0], e[1]) {
+			return false
+		}
+	}
+	return true
+}
+
+// TestQuickProximityHierarchy: RNG ⊆ Gabriel ⊆ UDG, the classic
+// containment chain.
+func TestQuickProximityHierarchy(t *testing.T) {
+	f := func(seed uint64) bool {
+		d := testDeployment(seed, 40)
+		udg := d.UDG()
+		gg := d.Gabriel()
+		rng := d.RNG()
+		if !subgraphOf(gg, udg) {
+			t.Log("Gabriel not a subgraph of UDG")
+			return false
+		}
+		if !subgraphOf(rng, gg) {
+			t.Log("RNG not a subgraph of Gabriel")
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickProximityConnectivity: on connected UDGs, Gabriel and RNG
+// pruning preserves connectivity (they contain a minimum spanning
+// tree of the visible edges).
+func TestQuickProximityConnectivity(t *testing.T) {
+	f := func(seed uint64) bool {
+		d := testDeployment(seed, 50)
+		if !d.UDG().Connected() {
+			return true // sparse draw; nothing to check
+		}
+		return d.Gabriel().Connected() && d.RNG().Connected()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGabrielSquareExample(t *testing.T) {
+	// Unit square plus center: the diagonals' circles contain the
+	// center, so diagonal edges are pruned; the sides remain.
+	d := &Deployment{
+		Pos:   []Point{{0, 0}, {2, 0}, {2, 2}, {0, 2}, {1, 1}},
+		Range: []float64{10, 10, 10, 10, 10},
+	}
+	g := d.Gabriel()
+	for _, side := range [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 0}} {
+		if !g.HasEdge(side[0], side[1]) {
+			t.Errorf("square side %v pruned", side)
+		}
+	}
+	if g.HasEdge(0, 2) || g.HasEdge(1, 3) {
+		t.Error("diagonal through the centre witness survived")
+	}
+	// All four spokes to the centre survive (their diameter circles
+	// are empty).
+	for v := 0; v < 4; v++ {
+		if !g.HasEdge(v, 4) {
+			t.Errorf("spoke %d-4 pruned", v)
+		}
+	}
+}
+
+func TestRNGPrunesLongTriangleEdge(t *testing.T) {
+	// Near-equilateral triangle, slightly scalene: RNG prunes the
+	// strictly longest edge (the other two vertices witness it).
+	d := &Deployment{
+		Pos:   []Point{{0, 0}, {2, 0}, {0.9, 1.8}},
+		Range: []float64{10, 10, 10},
+	}
+	// Side lengths: d(0,1)=2, d(0,2)≈2.01, d(1,2)≈2.11 — vertex 0
+	// witnesses the longest edge 1-2.
+	g := d.RNG()
+	if g.HasEdge(1, 2) {
+		t.Error("longest edge 1-2 should be pruned by witness 0")
+	}
+	if !g.HasEdge(0, 1) || !g.HasEdge(0, 2) {
+		t.Error("shorter edges pruned")
+	}
+}
+
+func TestKNN(t *testing.T) {
+	// Four collinear points: with k=1, each picks its closest; the
+	// symmetrization unions both directions.
+	d := &Deployment{
+		Pos:   []Point{{0, 0}, {1, 0}, {3, 0}, {6, 0}},
+		Range: []float64{10, 10, 10, 10},
+	}
+	g := d.KNN(1)
+	if !g.HasEdge(0, 1) {
+		t.Error("mutual nearest pair 0-1 missing")
+	}
+	if !g.HasEdge(1, 2) {
+		t.Error("2's nearest is 1; symmetric union must keep 1-2")
+	}
+	if !g.HasEdge(2, 3) {
+		t.Error("3's nearest is 2; symmetric union must keep 2-3")
+	}
+	if g.HasEdge(0, 2) || g.HasEdge(0, 3) || g.HasEdge(1, 3) {
+		t.Error("non-nearest edges present")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("KNN(0) did not panic")
+		}
+	}()
+	d.KNN(0)
+}
+
+func TestKNNRespectsRange(t *testing.T) {
+	d := &Deployment{
+		Pos:   []Point{{0, 0}, {500, 0}},
+		Range: []float64{100, 100},
+	}
+	if d.KNN(3).M() != 0 {
+		t.Error("KNN created an out-of-range edge")
+	}
+}
+
+func TestLinkSubgraph(t *testing.T) {
+	d := testDeployment(3, 30)
+	topo := d.Gabriel()
+	lg := d.LinkSubgraph(topo, PathLoss{Kappa: 2})
+	if lg.M() != 2*topo.M() {
+		t.Fatalf("arcs = %d, want %d (two per undirected edge)", lg.M(), 2*topo.M())
+	}
+	for u := 0; u < d.N(); u++ {
+		for _, a := range lg.Out(u) {
+			if !topo.HasEdge(u, a.To) {
+				t.Fatalf("arc %d->%d outside the topology", u, a.To)
+			}
+			want := d.Pos[u].Dist(d.Pos[a.To])
+			if a.W != want*want {
+				t.Fatalf("arc %d->%d weight %v, want %v", u, a.To, a.W, want*want)
+			}
+		}
+	}
+}

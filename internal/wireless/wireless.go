@@ -1,0 +1,181 @@
+// Package wireless is the physical-layer substrate for the paper's
+// simulations (§III.G): node placement in a planar region, the
+// power-attenuation radio model p(e) = α + β·‖v_i v_j‖^κ, unit disk
+// graphs (every node has the same transmission range) and
+// heterogeneous-range topologies (each node draws its own range),
+// plus the cost laws the two simulation campaigns use.
+//
+// All randomness flows through explicitly seeded *rand.Rand streams
+// so every instance in EXPERIMENTS.md is reproducible bit-for-bit.
+package wireless
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+
+	"truthroute/internal/graph"
+)
+
+// Point is a node position in metres.
+type Point struct {
+	X, Y float64
+}
+
+// Dist returns the Euclidean distance between two points.
+func (p Point) Dist(q Point) float64 {
+	return math.Hypot(p.X-q.X, p.Y-q.Y)
+}
+
+// Deployment is a set of placed wireless nodes. Node 0 is the access
+// point by the paper's convention.
+type Deployment struct {
+	Pos []Point
+	// Range[i] is node i's transmission range in metres.
+	Range []float64
+}
+
+// N reports the number of deployed nodes.
+func (d *Deployment) N() int { return len(d.Pos) }
+
+// CanReach reports whether node i's transmitter covers node j.
+func (d *Deployment) CanReach(i, j int) bool {
+	return i != j && d.Pos[i].Dist(d.Pos[j]) <= d.Range[i]
+}
+
+// PlaceUniform scatters n nodes independently and uniformly in a
+// side×side square with a common transmission range, the paper's
+// first campaign (2000 m × 2000 m, range 300 m).
+func PlaceUniform(n int, side, commonRange float64, rng *rand.Rand) *Deployment {
+	d := &Deployment{Pos: make([]Point, n), Range: make([]float64, n)}
+	for i := range d.Pos {
+		d.Pos[i] = Point{X: side * rng.Float64(), Y: side * rng.Float64()}
+		d.Range[i] = commonRange
+	}
+	return d
+}
+
+// PlaceUniformRanges scatters n nodes uniformly and draws each node's
+// transmission range independently from U[rangeLo, rangeHi], the
+// paper's second campaign (ranges 100 m to 500 m).
+func PlaceUniformRanges(n int, side, rangeLo, rangeHi float64, rng *rand.Rand) *Deployment {
+	d := PlaceUniform(n, side, 0, rng)
+	for i := range d.Range {
+		d.Range[i] = rangeLo + (rangeHi-rangeLo)*rng.Float64()
+	}
+	return d
+}
+
+// CostModel maps a transmitter i and a link length to the power cost
+// node i declares for that link.
+type CostModel interface {
+	// LinkCost returns node i's cost to send one packet across a
+	// link of the given length (metres).
+	LinkCost(i int, length float64) float64
+	// String describes the model for experiment logs.
+	String() string
+}
+
+// PathLoss is the first campaign's cost law: cost = ‖v_i v_j‖^κ (the
+// paper uses κ = 2 and κ = 2.5). Distances are rescaled by Unit
+// before exponentiation to keep κ-sweeps comparable; the paper's
+// plots use raw metres, i.e. Unit = 1.
+type PathLoss struct {
+	Kappa float64
+	// Unit rescales distances (metres per unit); 0 means 1.
+	Unit float64
+}
+
+// LinkCost implements CostModel.
+func (m PathLoss) LinkCost(_ int, length float64) float64 {
+	u := m.Unit
+	if u == 0 {
+		u = 1
+	}
+	return math.Pow(length/u, m.Kappa)
+}
+
+func (m PathLoss) String() string { return fmt.Sprintf("pathloss(kappa=%g)", m.Kappa) }
+
+// AffinePower is the second campaign's cost law: cost = c1 + c2·‖·‖^κ
+// with per-node coefficients c1 ∈ U[300,500] and c2 ∈ U[10,50]
+// ("reflects the actual power cost in one second of a node to send
+// data at 2Mbps rate"). Distances are in units of 100 m so the two
+// terms have comparable magnitude, as in the paper's parameters.
+type AffinePower struct {
+	C1, C2 []float64
+	Kappa  float64
+	// Unit rescales distances before exponentiation (metres per
+	// unit); 0 means 100 m, matching the paper's coefficient ranges.
+	Unit float64
+}
+
+// NewAffinePower draws per-node coefficients for n nodes: c1 from
+// U[c1Lo, c1Hi] and c2 from U[c2Lo, c2Hi].
+func NewAffinePower(n int, kappa, c1Lo, c1Hi, c2Lo, c2Hi float64, rng *rand.Rand) *AffinePower {
+	m := &AffinePower{C1: make([]float64, n), C2: make([]float64, n), Kappa: kappa}
+	for i := 0; i < n; i++ {
+		m.C1[i] = c1Lo + (c1Hi-c1Lo)*rng.Float64()
+		m.C2[i] = c2Lo + (c2Hi-c2Lo)*rng.Float64()
+	}
+	return m
+}
+
+// LinkCost implements CostModel.
+func (m *AffinePower) LinkCost(i int, length float64) float64 {
+	u := m.Unit
+	if u == 0 {
+		u = 100
+	}
+	return m.C1[i] + m.C2[i]*math.Pow(length/u, m.Kappa)
+}
+
+func (m *AffinePower) String() string { return fmt.Sprintf("affine(kappa=%g)", m.Kappa) }
+
+// LinkGraph builds the directed link-weighted communication graph of
+// the deployment under a cost model: the arc i→j exists iff j is
+// within i's transmission range, weighted by the model's cost for
+// node i on that link (§III.F: each node's type is its out-cost
+// vector).
+func (d *Deployment) LinkGraph(m CostModel) *graph.LinkGraph {
+	g := graph.NewLinkGraph(d.N())
+	for i := 0; i < d.N(); i++ {
+		for j := 0; j < d.N(); j++ {
+			if d.CanReach(i, j) {
+				g.AddArc(i, j, m.LinkCost(i, d.Pos[i].Dist(d.Pos[j])))
+			}
+		}
+	}
+	return g
+}
+
+// UDG builds the undirected unit-disk communication graph: {i,j} is
+// an edge iff the nodes are within each other's (common) range. It
+// panics if ranges are heterogeneous — use LinkGraph for those.
+func (d *Deployment) UDG() *graph.NodeGraph {
+	for i := 1; i < d.N(); i++ {
+		if d.Range[i] != d.Range[0] {
+			panic("wireless: UDG requires a common transmission range")
+		}
+	}
+	g := graph.NewNodeGraph(d.N())
+	for i := 0; i < d.N(); i++ {
+		for j := i + 1; j < d.N(); j++ {
+			if d.Pos[i].Dist(d.Pos[j]) <= d.Range[0] {
+				g.AddEdge(i, j)
+			}
+		}
+	}
+	return g
+}
+
+// NodeCostUDG builds the undirected node-weighted model of §II.B on
+// the UDG topology, assigning every node an independent uniform
+// relay cost in [lo, hi) — the "cost of each node is chosen
+// independently and uniformly from a range" setting of §III.G's
+// opening paragraph.
+func (d *Deployment) NodeCostUDG(lo, hi float64, rng *rand.Rand) *graph.NodeGraph {
+	g := d.UDG()
+	g.RandomizeCosts(lo, hi, rng)
+	return g
+}

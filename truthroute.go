@@ -1,0 +1,199 @@
+// Package truthroute is a complete implementation of the truthful
+// low-cost unicast mechanism for selfish wireless networks of
+// Wang & Li (IPPS 2004).
+//
+// Every wireless node declares a relay cost; a source computes the
+// least cost path (LCP) to the access point and pays each relay node
+// its declared cost plus the marginal improvement the node brings to
+// the route:
+//
+//	p^k = ||P without v_k|| − ||P|| + d_k
+//
+// This VCG payment makes truthful declaration a dominant strategy.
+// The package exposes:
+//
+//   - Graph construction: node-weighted graphs (scalar relay costs),
+//     directed link-weighted graphs (per-link power costs), wireless
+//     deployments (UDG and heterogeneous-range topologies).
+//   - Quotes: UnicastQuote (plain VCG, with the paper's fast
+//     O((n+m) log n) payment algorithm or the naive baseline),
+//     NeighborhoodQuote (neighbour-collusion-resistant p̃),
+//     LinkQuote (per-link cost model), and batch all-sources
+//     variants.
+//   - Game-theoretic verification: empirical strategyproofness,
+//     individual-rationality and pair-collusion checkers.
+//   - A distributed protocol simulator implementing the paper's
+//     Algorithm 2 with cheater detection.
+//   - Payment clearing: signed packets, signed acknowledgements and
+//     the access-point ledger.
+//   - The full Figure-3 experiment harness (overpayment study).
+//
+// Start with examples/quickstart; DESIGN.md maps every paper section
+// to its module and EXPERIMENTS.md records reproduction results.
+package truthroute
+
+import (
+	"io"
+
+	"truthroute/internal/collusion"
+	"truthroute/internal/core"
+	"truthroute/internal/dist"
+	"truthroute/internal/experiment"
+	"truthroute/internal/graph"
+	"truthroute/internal/mechanism"
+	"truthroute/internal/netsim"
+	"truthroute/internal/wireless"
+)
+
+// Graph is an undirected graph whose nodes carry declared relay
+// costs (the paper's §II.B model). Node 0 is the access point by
+// convention.
+type Graph = graph.NodeGraph
+
+// LinkGraph is a directed graph whose arcs carry the tail node's
+// declared per-link power costs (the §III.F model).
+type LinkGraph = graph.LinkGraph
+
+// NewGraph returns a node-weighted graph with n isolated nodes.
+func NewGraph(n int) *Graph { return graph.NewNodeGraph(n) }
+
+// NewLinkGraph returns a directed link-weighted graph with n nodes.
+func NewLinkGraph(n int) *LinkGraph { return graph.NewLinkGraph(n) }
+
+// Deployment is a set of wireless nodes placed in the plane.
+type Deployment = wireless.Deployment
+
+// Quote is a routing decision plus the payments owed to relays.
+type Quote = core.Quote
+
+// Engine selects the replacement-path algorithm behind UnicastQuote.
+type Engine = core.Engine
+
+// Engines: the paper's fast Algorithm 1 and the naive baseline.
+const (
+	EngineFast  = core.EngineFast
+	EngineNaive = core.EngineNaive
+)
+
+// ErrNoPath is returned when the target is unreachable.
+var ErrNoPath = core.ErrNoPath
+
+// UnicastQuote computes the LCP from s to t and the strategyproof
+// VCG payment for every relay on it (§III.A).
+func UnicastQuote(g *Graph, s, t int, engine Engine) (*Quote, error) {
+	return core.UnicastQuote(g, s, t, engine)
+}
+
+// NeighborhoodQuote computes the neighbour-collusion-resistant
+// payment p̃ (§III.E, Theorem 8).
+func NeighborhoodQuote(g *Graph, s, t int) (*Quote, error) {
+	return core.NeighborhoodQuote(g, s, t)
+}
+
+// SetQuote computes the generalized Q(v_k)-avoiding payment (§III.E).
+func SetQuote(g *Graph, s, t int, avoid func(k int) []int) (*Quote, error) {
+	return core.SetQuote(g, s, t, avoid)
+}
+
+// LinkQuote computes the §III.F payment in the link-cost model.
+func LinkQuote(g *LinkGraph, s, t int) (*Quote, error) {
+	return core.LinkQuote(g, s, t)
+}
+
+// AllUnicastQuotes computes one quote per source towards dest (nil
+// entries for dest and unreachable sources) via the §III.C
+// fixed-point recurrence.
+func AllUnicastQuotes(g *Graph, dest int) []*Quote {
+	return core.AllUnicastQuotes(g, dest)
+}
+
+// AllLinkQuotes is AllUnicastQuotes for the link-cost model.
+func AllLinkQuotes(g *LinkGraph, dest int) []*Quote {
+	return core.AllLinkQuotes(g, dest)
+}
+
+// EdgeWeighted is an undirected graph whose edges are the selfish
+// agents (the Nisan–Ronen model of §II.D).
+type EdgeWeighted = graph.EdgeWeighted
+
+// NewEdgeWeighted returns an edge-weighted graph with n nodes.
+func NewEdgeWeighted(n int) *EdgeWeighted { return graph.NewEdgeWeighted(n) }
+
+// EdgeQuote is the edge-agent mechanism's output.
+type EdgeQuote = core.EdgeQuote
+
+// EdgeVCGQuote runs the Nisan–Ronen edge-agent mechanism with
+// Hershberger–Suri fast payments (EngineFast) or the naive baseline.
+func EdgeVCGQuote(g *EdgeWeighted, s, t int, engine Engine) (*EdgeQuote, error) {
+	return core.EdgeVCGQuote(g, s, t, engine)
+}
+
+// Mechanism maps a declared profile to a quote; used by the
+// verification helpers.
+type Mechanism = mechanism.Mechanism
+
+// VerifyStrategyproof tries a grid of unilateral lies for every node
+// and returns the profitable ones (empty for the paper's mechanisms).
+func VerifyStrategyproof(trueG *Graph, s, t int, m Mechanism) ([]mechanism.Violation, error) {
+	return mechanism.VerifyStrategyproof(trueG, s, t, m)
+}
+
+// VCGMechanism adapts UnicastQuote for the verifiers.
+func VCGMechanism(s, t int, engine Engine) Mechanism { return mechanism.VCG(s, t, engine) }
+
+// Resale describes a profitable §III.H resale-the-path deal.
+type Resale = collusion.Resale
+
+// FindResale scans a source's neighbours for resale deals.
+func FindResale(g *Graph, source, dest int, engine Engine) ([]Resale, error) {
+	return collusion.FindResale(g, source, dest, engine)
+}
+
+// Network is the distributed-protocol simulator (Algorithm 2).
+type Network = dist.Network
+
+// NewNetwork wires a network of honest nodes over g towards dest;
+// pass non-nil behaviors entries to insert adversaries.
+func NewNetwork(g *Graph, dest int, behaviors []dist.Behavior) *Network {
+	return dist.NewNetwork(g, dest, behaviors)
+}
+
+// RunFigure regenerates one panel of the paper's Figure 3 ("3a".."3f")
+// or one of the extension experiments ("node", "topo", "life",
+// "ptilde"), writing the series to w. full selects the paper's exact
+// parameters; quick runs take seconds.
+func RunFigure(w io.Writer, id string, full bool, seed uint64) error {
+	s, err := experiment.RunFigure(id, full, seed)
+	if err != nil {
+		return err
+	}
+	s.Render(w)
+	return nil
+}
+
+// Sim is the packet-level session simulator realizing the paper's
+// §I motivation: battery-powered nodes under a forwarding policy.
+type Sim = netsim.Sim
+
+// Policy is a forwarding rule for Sim.
+type Policy = netsim.Policy
+
+// Forwarding policies for NewSim.
+const (
+	Altruistic  = netsim.Altruistic
+	Selfish     = netsim.Selfish
+	Compensated = netsim.Compensated
+)
+
+// NewSim builds a session simulator over a link graph (arc weights =
+// per-packet transmit energy) with a uniform initial battery.
+func NewSim(g *LinkGraph, dest int, policy Policy, battery float64) *Sim {
+	return netsim.New(g, dest, policy, battery)
+}
+
+// Figure2 and Figure4 are the paper's worked-example networks.
+func Figure2() *Graph { return graph.Figure2() }
+
+// Figure4 returns the §III.H resale example (scaled ×3; see
+// internal/graph.Figure4).
+func Figure4() *Graph { return graph.Figure4() }

@@ -1,0 +1,92 @@
+package truthroute
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestFacadeEndToEnd drives the public API the way the README's
+// quickstart does.
+func TestFacadeEndToEnd(t *testing.T) {
+	g := Figure2()
+	q, err := UnicastQuote(g, 1, 0, EngineFast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Total() != 6 {
+		t.Fatalf("total = %v, want 6", q.Total())
+	}
+	viol, err := VerifyStrategyproof(g, 1, 0, VCGMechanism(1, 0, EngineFast))
+	if err != nil || len(viol) != 0 {
+		t.Fatalf("violations %v err %v", viol, err)
+	}
+	if _, err := NeighborhoodQuote(g, 1, 0); err != nil {
+		t.Fatal(err)
+	}
+	deals, err := FindResale(Figure4(), 8, 0, EngineFast)
+	if err != nil || len(deals) == 0 {
+		t.Fatalf("deals %v err %v", deals, err)
+	}
+	all := AllUnicastQuotes(g, 0)
+	if all[1] == nil || all[1].Total() != 6 {
+		t.Fatal("batch quote mismatch")
+	}
+	net := NewNetwork(g, 0, nil)
+	net.RunProtocol(200)
+	if got := net.States()[1].Prices[4]; got != 2 {
+		t.Fatalf("distributed p_1^4 = %v, want 2", got)
+	}
+}
+
+func TestFacadeRunFigure(t *testing.T) {
+	var sb strings.Builder
+	if err := RunFigure(&sb, "3a", false, 1); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "IOR") {
+		t.Errorf("unexpected output: %q", sb.String())
+	}
+	if err := RunFigure(&sb, "bogus", false, 1); err == nil {
+		t.Error("bogus figure accepted")
+	}
+}
+
+func TestFacadeLinkModel(t *testing.T) {
+	g := NewLinkGraph(3)
+	g.AddArc(0, 1, 1)
+	g.AddArc(1, 2, 1)
+	g.AddArc(0, 2, 5)
+	q, err := LinkQuote(g, 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Payments[1] != 4 { // 1 + (5 − 2)
+		t.Errorf("p^1 = %v, want 4", q.Payments[1])
+	}
+	all := AllLinkQuotes(g, 2)
+	_ = all
+}
+
+func TestFacadeNetsimAndConnectivity(t *testing.T) {
+	// Vertex connectivity is reachable through the Graph alias.
+	if got := Figure2().VertexConnectivity(1, 0); got != 3 {
+		t.Errorf("connectivity = %d, want 3", got)
+	}
+	if got := Figure2().CollusionResilience(1, 0); got != 2 {
+		t.Errorf("resilience = %d, want 2", got)
+	}
+	// Session simulator through the facade.
+	g := NewLinkGraph(3)
+	g.AddArc(1, 0, 1)
+	g.AddArc(2, 1, 1)
+	g.AddArc(0, 1, 1)
+	g.AddArc(1, 2, 1)
+	sim := NewSim(g, 0, Selfish, 100)
+	if sim.Session(2, 1) {
+		t.Error("selfish relay forwarded")
+	}
+	alt := NewSim(g, 0, Altruistic, 100)
+	if !alt.Session(2, 1) {
+		t.Error("altruistic session blocked")
+	}
+}
