@@ -151,6 +151,25 @@ func BenchmarkDistributedProtocol(b *testing.B) {
 	}
 }
 
+// BenchmarkProtocolUnderLoss prices the ARQ repair layer: the same
+// 64-node protocol run with 10% i.i.d. frame loss and a mid-stage
+// crash/recover event (compare against BenchmarkDistributedProtocol
+// for the fault-free cost).
+func BenchmarkProtocolUnderLoss(b *testing.B) {
+	rng := rand.New(rand.NewPCG(4, 0))
+	g := graph.RandomBiconnected(64, 0.08, rng)
+	g.RandomizeCosts(1, 8, rng)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net := dist.NewNetwork(g, 0, nil)
+		net.SetFaults(&dist.FaultPlan{Seed: uint64(i), Loss: 0.10,
+			Crashes: []dist.CrashEvent{{Node: 5, At: 6, Recover: 18}}})
+		if _, _, converged := net.RunProtocol(64 * 600); !converged {
+			b.Fatal("no quiescence under loss")
+		}
+	}
+}
+
 // --- Edge-agent model (§II.D): Hershberger–Suri vs one Dijkstra
 // per path edge, on long-path grids.
 

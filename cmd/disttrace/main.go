@@ -13,6 +13,16 @@
 //	disttrace -adversary mute:3                       node 3 never transmits
 //	disttrace -signed                                 HMAC message authentication
 //	disttrace -trace                                  per-round traffic summary
+//
+// Fault injection (deterministic from -seed; repaired by the ARQ
+// reliable-delivery layer):
+//
+//	disttrace -loss 0.1                               10% i.i.d. frame loss
+//	disttrace -burst 0.05:0.3:0.01:0.7                Gilbert–Elliott burst loss
+//	                                                  (Pgood→bad:Pbad→good:lossGood:lossBad)
+//	disttrace -dup 0.05                               5% frame duplication
+//	disttrace -crash 4:6:20,7:9:-1                    node 4 down rounds 6–20;
+//	                                                  node 7 dies at 9 forever
 package main
 
 import (

@@ -1,10 +1,12 @@
 // Command unicast-sim regenerates the paper's evaluation (Figure 3):
 // the overpayment study of the truthful unicast mechanism, plus this
-// repository's extension experiments ("node", "topo").
+// repository's extension experiments ("node", "topo", and "loss" —
+// the distributed protocol's convergence, false-accusation and
+// overhead profile on lossy crashing networks).
 //
 // Usage:
 //
-//	unicast-sim [-figure 3a..3f|node|topo|life|ptilde|all] [-full] [-seed N] [-csv]
+//	unicast-sim [-figure 3a..3f|node|topo|life|ptilde|loss|all] [-full] [-seed N] [-csv]
 //
 // Without -full a reduced smoke-sized campaign runs in seconds; with
 // -full the paper's exact parameters are used (node counts 100..500,

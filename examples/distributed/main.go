@@ -20,7 +20,7 @@ func main() {
 
 	// --- Honest run: distributed prices equal the centralized VCG.
 	net := dist.NewNetwork(g, 0, nil)
-	s1, s2 := net.RunProtocol(2000)
+	s1, s2, _ := net.RunProtocol(2000)
 	fmt.Printf("honest run: stage 1 in %d rounds, stage 2 in %d rounds (n = %d)\n", s1, s2, g.N())
 
 	// Inspect the node with the longest route, so real multi-relay

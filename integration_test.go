@@ -26,9 +26,9 @@ func TestEndToEndSession(t *testing.T) {
 
 	// 1. Distributed price computation (no central authority).
 	net := dist.NewNetwork(g, 0, nil)
-	s1, s2 := net.RunProtocol(5000)
-	if s1 >= 5000 || s2 >= 5000 {
-		t.Fatal("protocol did not converge")
+	s1, s2, converged := net.RunProtocol(5000)
+	if !converged {
+		t.Fatalf("protocol did not converge (stage1=%d stage2=%d)", s1, s2)
 	}
 	if len(net.Log) != 0 {
 		t.Fatalf("honest network accused: %v", net.Log)

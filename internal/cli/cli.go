@@ -235,6 +235,10 @@ func RunDisttrace(args []string, stdout, stderr io.Writer) int {
 	delay := fs.Int("delay", 1, "maximum per-message delay in rounds (async when > 1)")
 	signed := fs.Bool("signed", false, "enable §III.D message signatures")
 	traced := fs.Bool("trace", false, "print a per-round traffic summary")
+	loss := fs.Float64("loss", 0, "i.i.d. per-frame loss probability in [0,1)")
+	dup := fs.Float64("dup", 0, "per-frame duplication probability in [0,1)")
+	burst := fs.String("burst", "", "Gilbert-Elliott burst loss: PGB:PBG:LOSSGOOD:LOSSBAD")
+	crash := fs.String("crash", "", "crash schedule: NODE:AT:RECOVER[,...] (RECOVER=-1 never)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -272,18 +276,35 @@ func RunDisttrace(args []string, stdout, stderr io.Writer) int {
 	if *delay > 1 {
 		net.SetAsync(*delay, *seed)
 	}
+	plan, err := ParseFaultPlan(*loss, *dup, *burst, *crash, *seed)
+	if err != nil {
+		fmt.Fprintln(stderr, "disttrace:", err)
+		return 2
+	}
+	if plan != nil {
+		if fail := faultPlanError(net, plan); fail != nil {
+			fmt.Fprintln(stderr, "disttrace:", fail)
+			return 2
+		}
+	}
 	if *signed {
 		net.EnableSigning(auth.NewKeyring(g.N()))
 	}
 	if *traced {
 		net.SetTrace(stdout)
 	}
-	s1, s2 := net.RunProtocol(200 * g.N())
+	s1, s2, converged := net.RunProtocol(200 * g.N())
 	fmt.Fprintf(stdout, "network: %d nodes, %d edges, destination 0\n", g.N(), g.M())
 	fmt.Fprintf(stdout, "stage 1 (SPT with mutual correction): %d rounds\n", s1)
 	fmt.Fprintf(stdout, "stage 2 (price relaxation with trigger verification): %d rounds\n", s2)
+	if !converged {
+		fmt.Fprintln(stdout, "WARNING: no quiescence before the round cap; states below are not converged")
+	}
 	if *signed {
 		fmt.Fprintf(stdout, "signatures: enabled, %d forged messages dropped\n", net.DroppedForged)
+	}
+	if plan != nil {
+		fmt.Fprintf(stdout, "faults: %s\n", net.FaultStats)
 	}
 	fmt.Fprintln(stdout)
 	for i, st := range net.States() {
@@ -373,4 +394,66 @@ func ParseAdversary(spec string) (int, dist.Behavior, error) {
 		return node, &dist.Impersonator{Victim: victim}, nil
 	}
 	return 0, nil, fmt.Errorf("unknown adversary %q", parts[0])
+}
+
+// ParseFaultPlan builds a dist.FaultPlan from the disttrace fault
+// flags (-loss, -dup, -burst, -crash); it returns nil when no fault
+// flag is set. The burst spec is PGB:PBG:LOSSGOOD:LOSSBAD; the crash
+// spec is a comma-separated list of NODE:AT:RECOVER events with
+// RECOVER = -1 meaning the node never comes back.
+func ParseFaultPlan(loss, dup float64, burst, crash string, seed uint64) (*dist.FaultPlan, error) {
+	if loss == 0 && dup == 0 && burst == "" && crash == "" {
+		return nil, nil
+	}
+	plan := &dist.FaultPlan{Seed: seed, Loss: loss, Dup: dup}
+	if burst != "" {
+		parts := strings.Split(burst, ":")
+		if len(parts) != 4 {
+			return nil, fmt.Errorf("bad -burst %q: want PGB:PBG:LOSSGOOD:LOSSBAD", burst)
+		}
+		var vals [4]float64
+		for i, s := range parts {
+			v, err := strconv.ParseFloat(s, 64)
+			if err != nil {
+				return nil, fmt.Errorf("bad -burst %q: %v", burst, err)
+			}
+			vals[i] = v
+		}
+		plan.Burst = &dist.GilbertElliott{
+			PGoodBad: vals[0], PBadGood: vals[1], LossGood: vals[2], LossBad: vals[3],
+		}
+	}
+	if crash != "" {
+		for _, spec := range strings.Split(crash, ",") {
+			parts := strings.Split(spec, ":")
+			if len(parts) != 3 {
+				return nil, fmt.Errorf("bad -crash event %q: want NODE:AT:RECOVER", spec)
+			}
+			var nums [3]int
+			for i, s := range parts {
+				v, err := strconv.Atoi(s)
+				if err != nil {
+					return nil, fmt.Errorf("bad -crash event %q: %v", spec, err)
+				}
+				nums[i] = v
+			}
+			plan.Crashes = append(plan.Crashes, dist.CrashEvent{
+				Node: nums[0], At: nums[1], Recover: nums[2],
+			})
+		}
+	}
+	return plan, nil
+}
+
+// faultPlanError installs plan on net, converting the validation
+// panic dist.SetFaults raises on a malformed plan into an error the
+// CLI can report with a non-zero exit instead of a crash.
+func faultPlanError(net *dist.Network, plan *dist.FaultPlan) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("%v", r)
+		}
+	}()
+	net.SetFaults(plan)
+	return nil
 }

@@ -288,3 +288,62 @@ func TestPaytoolJSONOutput(t *testing.T) {
 		t.Errorf("decoded = %+v", decoded)
 	}
 }
+
+func TestDisttraceLossyCrashRun(t *testing.T) {
+	var out, errOut strings.Builder
+	code := RunDisttrace([]string{"-n", "12", "-seed", "5",
+		"-loss", "0.1", "-dup", "0.02", "-crash", "3:4:14"}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut.String())
+	}
+	s := out.String()
+	if !strings.Contains(s, "faults:") {
+		t.Errorf("fault summary missing: %q", s)
+	}
+	if !strings.Contains(s, "no accusations") {
+		t.Errorf("honest lossy run accused: %q", s)
+	}
+	if strings.Contains(s, "WARNING: no quiescence") {
+		t.Errorf("lossy run did not converge: %q", s)
+	}
+}
+
+func TestDisttraceBurstRun(t *testing.T) {
+	var out, errOut strings.Builder
+	code := RunDisttrace([]string{"-fixture", "fig4", "-burst", "0.05:0.3:0.01:0.7"}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "no accusations") {
+		t.Errorf("honest burst run accused: %q", out.String())
+	}
+}
+
+func TestDisttraceFaultFlagErrors(t *testing.T) {
+	cases := [][]string{
+		{"-loss", "1.5"},                        // rate out of range (SetFaults validation)
+		{"-burst", "0.1:0.2"},                   // malformed burst spec
+		{"-burst", "a:b:c:d"},                   // non-numeric burst spec
+		{"-crash", "3:4"},                       // malformed crash event
+		{"-crash", "3:x:9"},                     // non-numeric crash field
+		{"-crash", "99:4:14"},                   // node out of range
+		{"-fixture", "fig2", "-crash", "0:4:9"}, // the access point may not crash
+	}
+	for _, args := range cases {
+		var out, errOut strings.Builder
+		if code := RunDisttrace(args, &out, &errOut); code != 2 {
+			t.Errorf("args %v: exit %d, want 2 (%s)", args, code, errOut.String())
+		}
+	}
+}
+
+func TestParseFaultPlanNilWhenUnset(t *testing.T) {
+	plan, err := ParseFaultPlan(0, 0, "", "", 1)
+	if plan != nil || err != nil {
+		t.Errorf("empty flags produced %+v, %v", plan, err)
+	}
+	plan, err = ParseFaultPlan(0, 0, "", "4:6:20,7:9:-1", 1)
+	if err != nil || len(plan.Crashes) != 2 || plan.Crashes[1].Recover != -1 {
+		t.Errorf("crash spec parse: %+v, %v", plan, err)
+	}
+}

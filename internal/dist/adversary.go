@@ -45,7 +45,8 @@ func (u *Underpayer) Step(round int, inbox []Message) []Message {
 		if out[i].Price == nil {
 			continue
 		}
-		scaled := &PriceAnnounce{Prices: map[int]float64{}, Triggers: map[int]int{}}
+		scaled := &PriceAnnounce{Prices: map[int]float64{}, Triggers: map[int]int{},
+			Gen: out[i].Price.Gen}
 		for k, p := range out[i].Price.Prices {
 			scaled.Prices[k] = p * u.Factor
 		}

@@ -13,7 +13,7 @@ import (
 // centralized VCG payments.
 func Example() {
 	net := dist.NewNetwork(graph.Figure2(), 0, nil)
-	s1, s2 := net.RunProtocol(1000)
+	s1, s2, _ := net.RunProtocol(1000)
 	fmt.Println("stage 1 rounds:", s1 > 0, "stage 2 rounds:", s2 > 0)
 	st := net.States()[1]
 	fmt.Println("v1 path:", st.Path)

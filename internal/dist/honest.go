@@ -20,6 +20,16 @@ type HonestNode struct {
 	nbD    map[int]float64
 	nbPath map[int][]int
 	nbFH   map[int]int
+	nbGen  map[int]int
+
+	// gen is this node's state generation: bumped on every route
+	// change and on every reboot (it survives Init, like a boot
+	// counter in stable storage), and stamped into both announcement
+	// types. Under faults, receivers only trust a price announcement
+	// against the SPT state of the *same* generation — the pairing
+	// that makes relaxation and verification sound while crashed
+	// routes are being repaired.
+	gen int
 
 	// pendingCorrection marks neighbours we have instructed over the
 	// reliable channel and are waiting on; the correction is resent
@@ -43,16 +53,28 @@ type HonestNode struct {
 	lastAnnounced map[int]*PriceAnnounce
 	dirty         bool // state changed; broadcast next Step
 	accused       map[int]bool
+
+	// violStreak counts, per (neighbour, relay) entry, how many
+	// consecutive verification rounds the entry has looked
+	// understated. Under faults an isolated mismatch is usually a
+	// healing transient (the announcer has not yet seen our repaired
+	// state); only a violation that survives the full correction
+	// grace becomes an accusation. Without faults verification stays
+	// immediate and this map is unused.
+	violStreak map[[2]int]int
 }
 
 // Init implements Behavior.
 func (h *HonestNode) Init(self int, net *Network) {
 	h.self = self
 	h.net = net
+	h.gen++ // a reboot is a new generation; h.gen survives Init
 	h.st = NodeState{D: Inf, FH: -1, Prices: map[int]float64{}}
 	h.nbD = map[int]float64{}
 	h.nbPath = map[int][]int{}
 	h.nbFH = map[int]int{}
+	h.nbGen = map[int]int{}
+	h.violStreak = map[[2]int]int{}
 	h.pendingCorrection = map[int]bool{}
 	h.pendingOffer = map[int]float64{}
 	h.correctionStreak = map[int]int{}
@@ -83,12 +105,47 @@ func (h *HonestNode) nbCost(j int) float64 {
 func (h *HonestNode) Step(round int, inbox []Message) []Message {
 	var out []Message
 	if h.self == h.net.Dest {
-		// The access point anchors stage 1 and ignores prices.
+		// The access point anchors stage 1 and ignores prices, but it
+		// must notice reboots: a neighbour that once held a route and
+		// now announces an infinite distance has lost its state —
+		// including this access point's original advertisement, which
+		// was delivered and acknowledged in the neighbour's previous
+		// life, so the ARQ layer will never resend it. Re-advertise,
+		// or the neighbour can only rebuild through detours and the
+		// SPT quiesces on a wrong tree.
+		for _, m := range inbox {
+			if m.SPT == nil {
+				continue
+			}
+			if d, known := h.nbD[m.From]; known && !math.IsInf(d, 1) && math.IsInf(m.SPT.D, 1) {
+				h.dirty = true
+			}
+			h.nbD[m.From] = m.SPT.D
+		}
 		if h.dirty {
 			h.dirty = false
 			return []Message{h.announceSPT()}
 		}
 		return nil
+	}
+	// Record neighbours' price announcements even before our own
+	// stage 2 starts: a node that rebooted mid-stage-2 collects its
+	// neighbourhood's current prices (re-sent under the reboot-resync
+	// rule below) during its stage-1 resync window, so re-entering
+	// stage 2 can relax from live knowledge instead of deadlocking on
+	// entries nobody will announce again. Under faults, announcements
+	// from a generation older than the sender's current route are
+	// leftovers of a dead state and are never stored over fresher
+	// knowledge (same-round pairs are fine: the matching SPT
+	// announcement in this inbox is processed right after).
+	for _, m := range inbox {
+		if m.Price == nil {
+			continue
+		}
+		if h.net.FaultsEnabled() && m.Price.Gen < h.nbGen[m.From] {
+			continue
+		}
+		h.lastAnnounced[m.From] = m.Price
 	}
 	out = append(out, h.handleStage1(inbox)...)
 	if h.stage2 {
@@ -107,6 +164,7 @@ func (h *HonestNode) Step(round int, inbox []Message) []Message {
 func (h *HonestNode) announceSPT() Message {
 	return Message{From: h.self, To: Broadcast, SPT: &SPTAnnounce{
 		D: h.st.D, FH: h.st.FH, Path: slices.Clone(h.st.Path), Cost: h.net.Cost(h.self),
+		Gen: h.gen,
 	}}
 }
 
@@ -130,9 +188,35 @@ func (h *HonestNode) handleStage1(inbox []Message) []Message {
 				// epoch restarts (it is responding, not refusing).
 				h.correctionStreak[j] = 0
 			}
+			if h.net.FaultsEnabled() && h.nbGen[j] != a.Gen {
+				// The neighbour's route generation moved (route change
+				// or reboot): any stored price announcement from the
+				// old generation describes a state that no longer
+				// exists. Drop it unless it already matches the new
+				// generation (the pair travels together, so a fresh pa
+				// from this very inbox was stored in the pre-pass).
+				if pa := h.lastAnnounced[j]; pa != nil && pa.Gen != a.Gen {
+					delete(h.lastAnnounced, j)
+				}
+			}
+			h.nbGen[j] = a.Gen
 			h.nbD[j] = a.D
 			h.nbFH[j] = a.FH
 			h.nbPath[j] = a.Path
+			// Reboot resync: a neighbour announcing an *infinite*
+			// distance while we hold a route has lost its protocol
+			// state (a crashed node reboots knowing only the public
+			// declarations). Anything we told it before — possibly
+			// delivered and acknowledged, so the ARQ layer will never
+			// resend it — died with its memory; re-advertise our full
+			// state so it can rebuild. Inert in fault-free runs: the
+			// only Inf announcements there are the initial ones, which
+			// arrive while we are still at Inf ourselves or in the
+			// same inbox as the announcement we adopt from (which sets
+			// dirty anyway).
+			if math.IsInf(a.D, 1) && !math.IsInf(h.st.D, 1) {
+				h.dirty = true
+			}
 			// Standard relaxation through j.
 			if cand := a.D + h.nbCost(j); cand < h.st.D-priceEps {
 				h.adoptVia(j, a)
@@ -158,8 +242,15 @@ func (h *HonestNode) handleStage1(inbox []Message) []Message {
 	}
 	// Drive pending corrections: resend every round, escalate after
 	// the grace period (Algorithm 2, stage 1: a node that will not
-	// accept a legitimate correction is cheating).
+	// accept a legitimate correction is cheating). Emission order is
+	// sorted: the network's delay and fault draws are consumed in
+	// message order, so map-order emission would break replay.
+	pend := make([]int, 0, len(h.pendingCorrection))
 	for j := range h.pendingCorrection {
+		pend = append(pend, j)
+	}
+	slices.Sort(pend)
+	for _, j := range pend {
 		if !h.inconsistent(j) { // our own state may have moved
 			delete(h.pendingCorrection, j)
 			h.correctionStreak[j] = 0
@@ -222,6 +313,7 @@ func (h *HonestNode) adoptVia(j int, a *SPTAnnounce) {
 // adopt applies a correction: distance d with first hop j, whose own
 // route is jPath.
 func (h *HonestNode) adopt(j int, d float64, jPath []int) {
+	raised := !math.IsInf(h.st.D, 1) && d > h.st.D+priceEps
 	h.st.D = d
 	h.st.FH = j
 	if jPath != nil {
@@ -231,12 +323,29 @@ func (h *HonestNode) adopt(j int, d float64, jPath []int) {
 	}
 	h.resetPrices()
 	h.dirty = true
+	if raised && h.stage2 && h.net.FaultsEnabled() {
+		// Our distance regressed mid-stage-2: the upstream route is
+		// being repaired after a reboot and our current D is
+		// provisional (possibly above its final value). Relaxing
+		// against it would lock in understated entries (the min is
+		// monotone) and verifying against it would accuse honest
+		// neighbours whose announcements predate the regression —
+		// so step out of stage 2 and let the network re-admit us
+		// once the route has settled (deferStage2).
+		h.stage2 = false
+		h.st.Prices = map[int]float64{}
+		h.triggers = map[int]int{}
+		h.net.deferStage2(h.self)
+	}
 }
 
 // resetPrices reinitializes the stage-2 entries after a route
 // change: one +Inf entry per relay on the current path (§III.C
-// initialization).
+// initialization). Every reset opens a new state generation, so
+// receivers can tell which route our next price announcements are
+// relative to.
 func (h *HonestNode) resetPrices() {
+	h.gen++
 	h.st.Prices = map[int]float64{}
 	h.triggers = map[int]int{}
 	if !h.stage2 {
@@ -275,7 +384,7 @@ func (h *HonestNode) Refresh() {
 }
 
 func (h *HonestNode) announcePrices() Message {
-	pa := &PriceAnnounce{Prices: map[int]float64{}, Triggers: map[int]int{}}
+	pa := &PriceAnnounce{Prices: map[int]float64{}, Triggers: map[int]int{}, Gen: h.gen}
 	for k, p := range h.st.Prices {
 		pa.Prices[k] = p
 		if tr, ok := h.triggers[k]; ok {
@@ -323,6 +432,13 @@ func (h *HonestNode) candidateVia(j, k int) float64 {
 		if pa == nil {
 			return Inf
 		}
+		if h.net.FaultsEnabled() && pa.Gen != h.nbGen[j] {
+			// The announcement predates (or, mid-inbox, postdates)
+			// the route state we know j by; mixing the two could
+			// produce a candidate nobody ever computed. Wait for the
+			// matching pair.
+			return Inf
+		}
 		pjk, ok := pa.Prices[k]
 		if !ok {
 			return Inf
@@ -332,36 +448,78 @@ func (h *HonestNode) candidateVia(j, k int) float64 {
 	return h.net.Cost(k) + base
 }
 
-// relaxAll recomputes every entry from current knowledge.
+// relaxAll recomputes every entry from current knowledge. The
+// recomputation is stateless — each entry is the minimum over the
+// *currently stored* neighbour announcements, not a historical min.
+// On reliable channels the two coincide (honest announcements only
+// ever lower their entries, so the latest announcement is the best
+// one); under faults the stateless form is what keeps the node
+// honest: when a neighbour's state is repaired after a crash and its
+// announced basis rises, the entries derived from the dead state
+// rise with it instead of staying locked at a value nobody can
+// justify any more. The previous trigger is kept while its value
+// stands, so quiescent states do not churn announcements.
 func (h *HonestNode) relaxAll() {
 	for _, k := range h.relays() {
+		best, bestJ := Inf, -1
 		for _, j := range h.net.Neighbors(h.self) {
-			if cand := h.candidateVia(j, k); cand < h.st.Prices[k]-priceEps {
-				h.st.Prices[k] = cand
-				h.triggers[k] = j
-				h.dirty = true
+			if cand := h.candidateVia(j, k); cand < best-priceEps {
+				best, bestJ = cand, j
 			}
 		}
+		if math.Abs(best-h.st.Prices[k]) <= priceEps ||
+			(math.IsInf(best, 1) && math.IsInf(h.st.Prices[k], 1)) {
+			continue // unchanged (keep the original trigger)
+		}
+		h.st.Prices[k] = best
+		if bestJ >= 0 {
+			h.triggers[k] = bestJ
+		} else {
+			delete(h.triggers, k)
+		}
+		h.dirty = true
 	}
 }
 
-// handleStage2 processes price announcements: record, relax, verify.
+// handleStage2 relaxes from the recorded price announcements (stored
+// in Step) and verifies entries that claim us as the trigger.
 func (h *HonestNode) handleStage2(inbox []Message) []Message {
 	var out []Message
-	for _, m := range inbox {
-		if m.Price == nil {
-			continue
-		}
-		h.lastAnnounced[m.From] = m.Price
-	}
 	h.relaxAll()
 	// Verification (Algorithm 2, stage 2): for every neighbour entry
 	// that claims us as the trigger, recompute the candidate from
 	// our own state. Prices decrease monotonically, so a correct
 	// (possibly stale) announcement is never *below* our current
-	// candidate; one that is has been understated.
-	for j, pa := range h.lastAnnounced {
-		for k, tr := range pa.Triggers {
+	// candidate; one that is has been understated. A node without a
+	// route cannot verify anything — its expectation would be
+	// infinite and every finite announcement would look understated;
+	// a freshly rebooted node waits until it re-acquires a route.
+	if math.IsInf(h.st.D, 1) {
+		return out
+	}
+	seen := map[[2]int]bool{}
+	nbs := make([]int, 0, len(h.lastAnnounced))
+	for j := range h.lastAnnounced {
+		nbs = append(nbs, j)
+	}
+	slices.Sort(nbs)
+	for _, j := range nbs {
+		pa := h.lastAnnounced[j]
+		if h.net.FaultsEnabled() && pa.Gen != h.nbGen[j] {
+			// The announcement and the route state we know j by are
+			// from different generations (its matching SPT update is
+			// still in flight); judging one against the other would
+			// accuse honest repairs. The ARQ layer is already
+			// retransmitting the missing half.
+			continue
+		}
+		ks := make([]int, 0, len(pa.Triggers))
+		for k := range pa.Triggers {
+			ks = append(ks, k)
+		}
+		slices.Sort(ks)
+		for _, k := range ks {
+			tr := pa.Triggers[k]
 			if tr != h.self || h.accused[j] {
 				continue
 			}
@@ -380,11 +538,35 @@ func (h *HonestNode) handleStage2(inbox []Message) []Message {
 				exp = h.net.Cost(k) + base
 			}
 			if pa.Prices[k] < exp-1e-6 {
+				if h.net.FaultsEnabled() {
+					// The entry was computed from what j knew of our
+					// state when it relaxed; while crashed routes are
+					// being repaired that knowledge may trail our own
+					// repairs by several retransmission timeouts. A
+					// cheat persists; a transient heals as soon as
+					// our announcements land and j re-relaxes — so
+					// accuse only a violation that outlives the same
+					// grace stage-1 corrections get. verifyPending
+					// keeps the network active while we wait.
+					key := [2]int{j, k}
+					seen[key] = true
+					h.violStreak[key]++
+					if h.violStreak[key] <= h.net.CorrectionGrace() {
+						h.net.verifyPending++
+						continue
+					}
+				}
 				h.accused[j] = true
 				acc := Accusation{Offender: j, Kind: "understated price entry"}
 				h.st.Accusations = append(h.st.Accusations, acc)
 				out = append(out, Message{From: h.self, To: Broadcast, Accuse: &acc})
 			}
+		}
+	}
+	// A streak not renewed this round was healed or superseded.
+	for key := range h.violStreak {
+		if !seen[key] {
+			delete(h.violStreak, key)
 		}
 	}
 	return out

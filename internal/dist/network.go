@@ -71,6 +71,13 @@ type SPTAnnounce struct {
 	FH   int
 	Path []int // sender → ... → 0; nil until a route is known
 	Cost float64
+	// Gen is the sender's state generation: bumped on every route
+	// change and on reboot (a persistent boot counter, like the ARQ
+	// sequence space). Receivers use it to pair price announcements
+	// with the SPT state they were computed under — under faults a
+	// price announcement is only meaningful against the matching
+	// generation.
+	Gen int
 }
 
 // PriceAnnounce is a stage-2 advertisement of the sender's current
@@ -80,6 +87,9 @@ type SPTAnnounce struct {
 type PriceAnnounce struct {
 	Prices   map[int]float64 // relay k → p_sender^k
 	Triggers map[int]int     // relay k → neighbour that produced it
+	// Gen is the sender's state generation at computation time (see
+	// SPTAnnounce.Gen): these entries are relative to that route.
+	Gen int
 }
 
 // Correction is Algorithm 2 stage 1's direct "reliable and secure
@@ -134,17 +144,33 @@ type NodeState struct {
 	Accusations []Accusation
 }
 
+// frame is one radio transmission in flight: the protocol message
+// plus the link-layer metadata the fault/ARQ machinery needs. phys is
+// the physical transmitter (which may differ from msg.From under
+// impersonation); seq/kind identify the ARQ slot for frames enrolled
+// in the reliable-delivery layer (arq == true, i.e. a fault plan is
+// installed).
+type frame struct {
+	msg  Message
+	phys int
+	seq  uint64
+	kind int
+	arq  bool
+}
+
 // Network wires Behaviors over an undirected node-weighted topology
 // and runs synchronous rounds. By default every message takes one
 // round; SetAsync introduces bounded random per-message delays over
-// FIFO channels.
+// FIFO channels, and SetFaults layers deterministic loss,
+// duplication and crash injection (faults.go) under an ARQ repair
+// layer.
 type Network struct {
 	G     *graph.NodeGraph
 	Dest  int // the access point (v_0)
 	Nodes []Behavior
 
-	// pending[r] holds messages to deliver at round r (per target).
-	pending map[int]map[int][]Message
+	// pending[r] holds frames to deliver at round r (per target).
+	pending map[int]map[int][]frame
 	// Log collects every accusation raised by any node.
 	Log []Accusation
 	// Rounds counts executed rounds.
@@ -171,11 +197,36 @@ type Network struct {
 	// traffic (SetTrace).
 	trace io.Writer
 
-	// Messages counts every point-to-point delivery (a broadcast to
-	// k neighbours counts k) — the communication-complexity figure
-	// the distributed-mechanism literature reports alongside round
-	// counts.
+	// Messages counts every point-to-point transmission (a broadcast
+	// to k neighbours counts k; under a fault plan, dropped frames
+	// and retransmissions count too — transmitting costs energy
+	// whether or not the frame arrives) — the
+	// communication-complexity figure the distributed-mechanism
+	// literature reports alongside round counts.
 	Messages int
+
+	// faults is the installed fault plan's runtime state (nil without
+	// SetFaults); FaultStats tallies what it did.
+	faults     *faultState
+	FaultStats FaultStats
+
+	// Violations counts protocol violations the simulator itself
+	// detected and neutralized (e.g. a send to a non-neighbour);
+	// each is also recorded in Log as an accusation by the network.
+	Violations int
+
+	// stage2Started tracks which protocol stage RunProtocol is in, so
+	// a node recovering from a crash can be dropped back into the
+	// right stage.
+	stage2Started bool
+
+	// verifyPending counts verification violations observed this round
+	// that are still inside their persistence window (see honest.go:
+	// under faults an understated-looking entry must survive the grace
+	// period before it becomes an accusation). A pending verdict keeps
+	// the network active even when no messages flow, so the round loop
+	// cannot quiesce out from under an unresolved violation.
+	verifyPending int
 }
 
 // NewNetwork builds a network over g towards dest. behaviors may be
@@ -183,7 +234,7 @@ type Network struct {
 func NewNetwork(g *graph.NodeGraph, dest int, behaviors []Behavior) *Network {
 	n := &Network{
 		G: g, Dest: dest, Nodes: make([]Behavior, g.N()),
-		pending:         map[int]map[int][]Message{},
+		pending:         map[int]map[int][]frame{},
 		maxDelay:        1,
 		lastDelivery:    map[[2]int]int{},
 		correctionGrace: 4,
@@ -209,14 +260,28 @@ func (n *Network) SetAsync(maxDelay int, seed uint64) {
 	if maxDelay < 1 {
 		panic("dist: maxDelay must be >= 1")
 	}
+	if n.Rounds > 0 || len(n.pending) > 0 {
+		panic("dist: SetAsync must be called before the first round (messages already scheduled under the old delay model)")
+	}
 	n.maxDelay = maxDelay
 	n.delayRng = rand.New(rand.NewPCG(seed, 0xa5a5))
 	n.correctionGrace = 2*maxDelay + 4
 }
 
 // CorrectionGrace is how many unanswered correction resends honest
-// nodes tolerate before accusing (see honest.go).
-func (n *Network) CorrectionGrace() int { return n.correctionGrace }
+// nodes tolerate before accusing (see honest.go). The base scales
+// with the maximum async delay; an installed fault plan adds slack
+// for the longest crash outage and for retransmission repair under
+// loss, so that faults are never mistaken for refused corrections.
+// Computed on demand so SetAsync and SetFaults compose in either
+// order.
+func (n *Network) CorrectionGrace() int {
+	g := n.correctionGrace
+	if n.faults != nil {
+		g += n.faults.plan.graceSlack()
+	}
+	return g
+}
 
 // SetTrace emits one summary line per executed round to w: how many
 // announcements, price updates, corrections and accusations were
@@ -244,26 +309,39 @@ func (n *Network) Cost(v int) float64 { return n.G.Cost(v) }
 // Neighbors returns v's neighbour set.
 func (n *Network) Neighbors(v int) []int { return n.G.Neighbors(v) }
 
-// schedule enqueues one point-to-point message, preserving per-channel
-// FIFO order under async delays.
-func (n *Network) schedule(m Message) {
+// schedule enqueues one point-to-point frame, preserving per-channel
+// FIFO order under async delays. FIFO is keyed by the *physical*
+// transmitter: the radio channel orders what a given radio sends,
+// not what identity the payload claims.
+func (n *Network) schedule(sender int, fr frame) {
 	delay := 1
 	if n.maxDelay > 1 {
 		delay = 1 + n.delayRng.IntN(n.maxDelay)
 	}
 	at := n.Rounds + delay
-	ch := [2]int{m.From, m.To}
+	ch := [2]int{sender, fr.msg.To}
 	if last := n.lastDelivery[ch]; at < last {
-		at = last // never overtake an earlier message on this channel
+		at = last // never overtake an earlier frame on this channel
 	}
 	n.lastDelivery[ch] = at
-	n.Messages++
 	byTarget := n.pending[at]
 	if byTarget == nil {
-		byTarget = map[int][]Message{}
+		byTarget = map[int][]frame{}
 		n.pending[at] = byTarget
 	}
-	byTarget[m.To] = append(byTarget[m.To], m)
+	byTarget[fr.msg.To] = append(byTarget[fr.msg.To], fr)
+}
+
+// transmit puts one verified point-to-point message on the air:
+// directly when channels are reliable, through the ARQ layer when a
+// fault plan is installed.
+func (n *Network) transmit(sender int, m Message) {
+	if n.faults != nil {
+		n.transmitARQ(sender, m)
+		return
+	}
+	n.Messages++
+	n.schedule(sender, frame{msg: m, phys: sender})
 }
 
 // deliver routes msgs into future rounds, expanding broadcasts.
@@ -288,16 +366,25 @@ func (n *Network) deliver(sender int, msgs []Message) {
 				mm := m
 				mm.To = v
 				if n.verified(mm) {
-					n.schedule(mm)
+					n.transmit(sender, mm)
 				}
 			}
 			continue
 		}
-		if !n.G.HasEdge(sender, m.To) {
-			panic(fmt.Sprintf("dist: node %d sent to non-neighbour %d", sender, m.To))
+		if m.To < 0 || m.To >= n.G.N() || !n.G.HasEdge(sender, m.To) {
+			// A radio cannot reach a non-neighbour: record the
+			// violation and drop the message instead of crashing the
+			// simulation — a buggy or malicious Behavior must not be
+			// able to take down the harness.
+			n.Violations++
+			n.Log = append(n.Log, Accusation{
+				Offender: sender,
+				Kind:     fmt.Sprintf("protocol violation: sent to non-neighbour %d", m.To),
+			})
+			continue
 		}
 		if n.verified(m) {
-			n.schedule(m)
+			n.transmit(sender, m)
 		}
 	}
 }
@@ -322,13 +409,29 @@ func (n *Network) verified(m Message) bool {
 
 // RunRound executes one synchronous round and reports whether any
 // message was exchanged or is still in flight (false means the
-// protocol has gone quiet).
+// protocol has gone quiet). Under a fault plan the round opens with
+// the crash schedule and the ARQ retransmission pump, and every
+// arriving frame passes the link-layer filter (crash drop, dedup,
+// MAC acknowledgement) before reaching its Behavior.
 func (n *Network) RunRound() bool {
 	n.Rounds++
-	inboxes := n.pending[n.Rounds]
+	n.applyFaultEvents()
+	n.pumpRetransmissions()
+	byTarget := n.pending[n.Rounds]
 	delete(n.pending, n.Rounds)
+	// Filter arrivals in node order: the link layer draws from the
+	// shared fault RNG (ack loss), so iteration order must be
+	// deterministic for runs to replay bit-for-bit.
+	inboxes := make([][]Message, len(n.Nodes))
+	for i := range n.Nodes {
+		for _, fr := range byTarget[i] {
+			if m, ok := n.receive(i, fr); ok {
+				inboxes[i] = append(inboxes[i], m)
+			}
+		}
+	}
 	if n.trace != nil {
-		var spt, price, corr, acc int
+		var spt, price, corr int
 		for _, q := range inboxes {
 			for _, m := range q {
 				switch {
@@ -338,16 +441,18 @@ func (n *Network) RunRound() bool {
 					price++
 				case m.Correct != nil:
 					corr++
-				case m.Accuse != nil:
-					acc++
 				}
 			}
 		}
-		fmt.Fprintf(n.trace, "round %4d: %4d spt, %4d price, %3d corrections, %2d accusations delivered\n",
-			n.Rounds, spt, price, corr, acc)
+		fmt.Fprintf(n.trace, "round %4d: %4d spt, %4d price, %3d corrections delivered\n",
+			n.Rounds, spt, price, corr)
 	}
 	active := false
+	n.verifyPending = 0
 	for i, node := range n.Nodes {
+		if n.faults != nil && n.faults.crashed[i] {
+			continue // a crashed node neither computes nor transmits
+		}
 		out := node.Step(n.Rounds, inboxes[i])
 		if len(out) > 0 {
 			active = true
@@ -361,35 +466,57 @@ func (n *Network) RunRound() bool {
 			}
 		}
 	}
+	if n.verifyPending > 0 {
+		active = true
+	}
+	if f := n.faults; f != nil &&
+		(len(f.unacked) > 0 || len(f.stage2At) > 0 || n.Rounds < f.lastEventRound) {
+		// Unrepaired frames, a recovered node still waiting to
+		// re-enter stage 2, or scheduled crash/recover events still
+		// change the world: the network is not quiescent.
+		active = true
+	}
 	return active
 }
 
 // Run executes rounds until quiescence or maxRounds, returning the
-// number of rounds executed by this call.
-func (n *Network) Run(maxRounds int) int {
+// number of rounds executed by this call and whether the network
+// actually went quiet (converged == false means maxRounds elapsed
+// with traffic still in flight — the caller must not read the node
+// states as a converged outcome).
+func (n *Network) Run(maxRounds int) (rounds int, converged bool) {
 	start := n.Rounds
+	converged = false
 	for r := 0; r < maxRounds; r++ {
 		if !n.RunRound() {
+			converged = true
 			break
 		}
 	}
-	return n.Rounds - start
+	return n.Rounds - start, converged
 }
 
 // RunProtocol executes both stages of Algorithm 2: stage 1 (SPT
 // construction with mutual correction) until quiescence, then stage 2
 // (price relaxation with trigger verification) until quiescence. It
-// returns the rounds each stage took. maxRounds bounds each stage —
-// the paper guarantees convergence within n rounds per stage on
-// honest networks; adversarial runs may stay noisy, in which case
-// the cap applies.
-func (n *Network) RunProtocol(maxRounds int) (stage1, stage2 int) {
-	stage1 = n.Run(maxRounds)
-	for _, b := range n.Nodes {
+// returns the rounds each stage took and whether both stages went
+// quiet. maxRounds bounds each stage — the paper guarantees
+// convergence within n rounds per stage on honest reliable networks;
+// adversarial runs and crash-forever fault plans may stay noisy, in
+// which case the cap applies and converged is false.
+func (n *Network) RunProtocol(maxRounds int) (stage1, stage2 int, converged bool) {
+	n.stage2Started = false
+	var c1, c2 bool
+	stage1, c1 = n.Run(maxRounds)
+	n.stage2Started = true
+	for i, b := range n.Nodes {
+		if n.faults != nil && n.faults.crashed[i] {
+			continue // switched on recovery instead (applyFaultEvents)
+		}
 		b.StartStage2()
 	}
-	stage2 = n.Run(maxRounds)
-	return stage1, stage2
+	stage2, c2 = n.Run(maxRounds)
+	return stage1, stage2, c1 && c2
 }
 
 // States snapshots every node's state.

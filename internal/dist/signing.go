@@ -38,12 +38,14 @@ func messageDigest(m *Message) []byte {
 		wf(m.SPT.D)
 		wi(m.SPT.FH)
 		wf(m.SPT.Cost)
+		wi(m.SPT.Gen)
 		wi(len(m.SPT.Path))
 		for _, v := range m.SPT.Path {
 			wi(v)
 		}
 	case m.Price != nil:
 		buf = append(buf, 'p')
+		wi(m.Price.Gen)
 		keys := make([]int, 0, len(m.Price.Prices))
 		for k := range m.Price.Prices {
 			keys = append(keys, k)

@@ -28,7 +28,7 @@ func TestImpersonationCorruptsUnsignedProtocol(t *testing.T) {
 	g, behaviors := impersonationFixture()
 	net := NewNetwork(g, 0, behaviors)
 	maxRounds := 60 * g.N()
-	s1 := net.Run(maxRounds)
+	_, quiesced := net.Run(maxRounds)
 	want := sp.NodeDijkstra(g, 0, nil)
 	wrongD := false
 	for i, st := range net.States() {
@@ -36,7 +36,7 @@ func TestImpersonationCorruptsUnsignedProtocol(t *testing.T) {
 			wrongD = true
 		}
 	}
-	corrupted := s1 >= maxRounds || wrongD || len(net.Log) > 0
+	corrupted := !quiesced || wrongD || len(net.Log) > 0
 	if !corrupted {
 		t.Fatal("unsigned protocol shrugged off the impersonation; the attack fixture is broken")
 	}
@@ -85,11 +85,11 @@ func TestSigningDefeatsImpersonation(t *testing.T) {
 func TestSigningTransparentForHonestRuns(t *testing.T) {
 	g := graph.Figure4()
 	plain := NewNetwork(g, 0, nil)
-	p1, p2 := plain.RunProtocol(2000)
+	p1, p2, _ := plain.RunProtocol(2000)
 
 	signed := NewNetwork(g, 0, nil)
 	signed.EnableSigning(auth.NewKeyring(g.N()))
-	s1, s2 := signed.RunProtocol(2000)
+	s1, s2, _ := signed.RunProtocol(2000)
 
 	if p1 != s1 || p2 != s2 {
 		t.Errorf("round counts differ: plain (%d,%d) signed (%d,%d)", p1, p2, s1, s2)

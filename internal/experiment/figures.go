@@ -78,7 +78,7 @@ func (s *Series) Render(w io.Writer) {
 // FigureIDs lists the reproducible experiments in order; "node" and
 // "topo" are this repository's extension experiments.
 func FigureIDs() []string {
-	return []string{"3a", "3b", "3c", "3d", "3e", "3f", "node", "topo", "life", "ptilde"}
+	return []string{"3a", "3b", "3c", "3d", "3e", "3f", "node", "topo", "life", "ptilde", "loss"}
 }
 
 // RunFigure regenerates one panel of Figure 3 (or the extra "node"
@@ -183,6 +183,31 @@ func RunFigure(id string, full bool, seed uint64) (*Series, error) {
 				fmt.Sprintf("%d", r.Size), fmt.Sprintf("%.3f", r.Premium),
 				fmt.Sprintf("±%.3f", r.PremiumCI),
 				fmt.Sprintf("%d", r.AssumptionFailed), fmt.Sprintf("%d", r.Sources)})
+		}
+		return s, nil
+	case "loss":
+		n, inst := 14, 6
+		rates := []float64{0, 0.05, 0.10}
+		crashes := []int{0, 1}
+		if full {
+			n, inst = 24, 20
+			rates = []float64{0, 0.01, 0.05, 0.10, 0.20}
+			crashes = []int{0, 1, 2}
+		}
+		rows := LossResilienceCampaign{N: n, P: 0.25, LossRates: rates,
+			CrashCounts: crashes, MaxDelay: 1, Instances: inst, Seed: seed}.Run()
+		s := &Series{Figure: "loss",
+			Title: fmt.Sprintf("Algorithm 2 under frame loss and crashes, n=%d, ARQ repair", n),
+			Header: []string{"loss", "crashes", "converged", "false-acc", "vcg-agree",
+				"rounds-x", "msg-x", "retrans"}}
+		for _, r := range rows {
+			s.Rows = append(s.Rows, []string{
+				fmt.Sprintf("%.0f%%", r.Loss*100), fmt.Sprintf("%d", r.Crashes),
+				fmt.Sprintf("%d/%d", r.Converged, r.Runs),
+				fmt.Sprintf("%d", r.FalseAccusations),
+				fmt.Sprintf("%d/%d", r.AgreeSources, r.Sources),
+				fmt.Sprintf("%.2f", r.RoundsX), fmt.Sprintf("%.2f", r.MsgX),
+				fmt.Sprintf("%.0f", r.Retrans)})
 		}
 		return s, nil
 	default:

@@ -1,0 +1,190 @@
+package experiment
+
+import (
+	"math"
+	"math/rand/v2"
+
+	"truthroute/internal/core"
+	"truthroute/internal/dist"
+	"truthroute/internal/graph"
+	"truthroute/internal/stats"
+)
+
+// LossResilienceCampaign measures how Algorithm 2 holds up on lossy
+// channels with crashing nodes: the same biconnected instances run
+// once on a reliable channel (the baseline) and once per fault cell —
+// a (loss rate, crash count) pair — under the ARQ repair layer. Each
+// faulty run is checked against the centralized VCG payments of
+// core.AllUnicastQuotes, and the overhead columns report how much the
+// repair machinery costs relative to the lossless baseline of the
+// same instance.
+type LossResilienceCampaign struct {
+	N int     // nodes per instance
+	P float64 // extra-edge probability of RandomBiconnected
+
+	LossRates   []float64 // i.i.d. per-frame loss rates to sweep
+	CrashCounts []int     // crash/recover events to sweep
+
+	// MaxDelay > 1 additionally runs every network (baseline and
+	// faulty) under async per-message delays in [1, MaxDelay].
+	MaxDelay int
+
+	Instances int
+	Seed      uint64
+}
+
+// LossRow aggregates one (loss, crashes) cell over the instances.
+type LossRow struct {
+	Loss    float64
+	Crashes int
+	Runs    int // instances executed
+	// Converged counts runs that reached quiescence in both stages
+	// within the round cap.
+	Converged int
+	// FalseAccusations sums accusations across runs — the network is
+	// all-honest, so any accusation is a fault-induced false positive.
+	FalseAccusations int
+	// AgreeSources / Sources: sources whose converged price vector
+	// matches the centralized VCG payments to 1e-9 relative error,
+	// over all sources of converged runs.
+	AgreeSources int
+	Sources      int
+	// RoundsX and MsgX are the mean per-instance multipliers versus
+	// the same instance's lossless baseline (1.0 = no overhead).
+	RoundsX float64
+	MsgX    float64
+	// Retrans is the mean number of ARQ retransmissions per run.
+	Retrans float64
+}
+
+type lossCell struct {
+	loss    float64
+	crashes int
+}
+
+// lossAgreeTol is the acceptance tolerance: the ARQ layer must
+// reproduce the payments exactly, not approximately.
+const lossAgreeTol = 1e-9
+
+// Run executes the campaign. Parallel over instances; every draw
+// derives from (Seed, instance, cell), so results are independent of
+// scheduling.
+func (c LossResilienceCampaign) Run() []LossRow {
+	var cells []lossCell
+	for _, l := range c.LossRates {
+		for _, cr := range c.CrashCounts {
+			cells = append(cells, lossCell{loss: l, crashes: cr})
+		}
+	}
+	type cellRes struct {
+		converged      bool
+		accusations    int
+		agree, sources int
+		roundsX, msgX  float64
+		retrans        float64
+	}
+	results := make([][]cellRes, c.Instances)
+	maxRounds := 600*c.N + 20000 // generous: grace slack under loss is ~150 rounds per repair
+	forEach(c.Instances, func(inst int) {
+		rng := rand.New(rand.NewPCG(c.Seed, uint64(inst)))
+		g := graph.RandomBiconnected(c.N, c.P, rng)
+		g.RandomizeCosts(0.5, 4, rng)
+		quotes := core.AllUnicastQuotes(g, 0)
+
+		base := dist.NewNetwork(g, 0, nil)
+		if c.MaxDelay > 1 {
+			base.SetAsync(c.MaxDelay, c.Seed^uint64(inst))
+		}
+		b1, b2, _ := base.RunProtocol(maxRounds)
+		baseRounds, baseMsgs := float64(b1+b2), float64(base.Messages)
+
+		res := make([]cellRes, len(cells))
+		for ci, cell := range cells {
+			crashRng := rand.New(rand.NewPCG(c.Seed^0xc4a5, uint64(inst)<<16|uint64(ci)))
+			net := dist.NewNetwork(g, 0, nil)
+			if c.MaxDelay > 1 {
+				net.SetAsync(c.MaxDelay, c.Seed^uint64(inst))
+			}
+			net.SetFaults(&dist.FaultPlan{
+				Seed:    c.Seed ^ uint64(inst)<<16 ^ uint64(ci),
+				Loss:    cell.loss,
+				Crashes: crashSchedule(c.N, cell.crashes, crashRng),
+			})
+			s1, s2, converged := net.RunProtocol(maxRounds)
+			r := cellRes{
+				converged:   converged,
+				accusations: len(net.Log),
+				roundsX:     float64(s1+s2) / math.Max(1, baseRounds),
+				msgX:        float64(net.Messages) / math.Max(1, baseMsgs),
+				retrans:     float64(net.FaultStats.Retransmissions),
+			}
+			if converged {
+				states := net.States()
+				for i := 1; i < c.N; i++ {
+					q := quotes[i]
+					if q == nil {
+						continue
+					}
+					r.sources++
+					if pricesAgree(states[i].Prices, q.Payments) {
+						r.agree++
+					}
+				}
+			}
+			res[ci] = r
+		}
+		results[inst] = res
+	})
+	rows := make([]LossRow, len(cells))
+	for ci, cell := range cells {
+		row := LossRow{Loss: cell.loss, Crashes: cell.crashes, Runs: c.Instances}
+		var roundsX, msgX, retrans stats.Acc
+		for inst := 0; inst < c.Instances; inst++ {
+			r := results[inst][ci]
+			if r.converged {
+				row.Converged++
+			}
+			row.FalseAccusations += r.accusations
+			row.AgreeSources += r.agree
+			row.Sources += r.sources
+			roundsX.Add(r.roundsX)
+			msgX.Add(r.msgX)
+			retrans.Add(r.retrans)
+		}
+		row.RoundsX, row.MsgX, row.Retrans = roundsX.Mean(), msgX.Mean(), retrans.Mean()
+		rows[ci] = row
+	}
+	return rows
+}
+
+// crashSchedule draws count distinct non-destination nodes with
+// crash rounds in [3, 12] and outages of 5–19 rounds — early enough
+// to hit stage 1 on small instances, long enough that neighbours
+// notice.
+func crashSchedule(n, count int, rng *rand.Rand) []dist.CrashEvent {
+	used := map[int]bool{}
+	var out []dist.CrashEvent
+	for len(out) < count && len(used) < n-1 {
+		v := 1 + rng.IntN(n-1)
+		if used[v] {
+			continue
+		}
+		used[v] = true
+		at := 3 + rng.IntN(10)
+		out = append(out, dist.CrashEvent{Node: v, At: at, Recover: at + 5 + rng.IntN(15)})
+	}
+	return out
+}
+
+func pricesAgree(got, want map[int]float64) bool {
+	if len(got) != len(want) {
+		return false
+	}
+	for k, w := range want {
+		gp, ok := got[k]
+		if !ok || math.Abs(gp-w) > lossAgreeTol*math.Max(1, math.Abs(w)) {
+			return false
+		}
+	}
+	return true
+}

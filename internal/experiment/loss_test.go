@@ -1,0 +1,48 @@
+package experiment
+
+import "testing"
+
+func TestLossResilienceCampaign(t *testing.T) {
+	rows := LossResilienceCampaign{N: 10, P: 0.3,
+		LossRates: []float64{0, 0.10}, CrashCounts: []int{0, 1},
+		Instances: 3, Seed: 7}.Run()
+	if len(rows) != 4 {
+		t.Fatalf("got %d rows, want 4", len(rows))
+	}
+	for _, r := range rows {
+		if r.Converged != r.Runs {
+			t.Errorf("loss=%g crashes=%d: %d/%d converged", r.Loss, r.Crashes, r.Converged, r.Runs)
+		}
+		if r.FalseAccusations != 0 {
+			t.Errorf("loss=%g crashes=%d: %d false accusations", r.Loss, r.Crashes, r.FalseAccusations)
+		}
+		if r.AgreeSources != r.Sources || r.Sources == 0 {
+			t.Errorf("loss=%g crashes=%d: VCG agreement %d/%d", r.Loss, r.Crashes, r.AgreeSources, r.Sources)
+		}
+	}
+	// The lossless, crash-free cell is the regression anchor: the ARQ
+	// layer must be invisible there.
+	base := rows[0]
+	if base.Loss != 0 || base.Crashes != 0 {
+		t.Fatalf("unexpected cell order: %+v", base)
+	}
+	if base.RoundsX != 1 || base.MsgX != 1 || base.Retrans != 0 {
+		t.Errorf("lossless cell shows overhead: rounds-x=%g msg-x=%g retrans=%g",
+			base.RoundsX, base.MsgX, base.Retrans)
+	}
+	// Lossy cells must actually have exercised the repair path.
+	lossy := rows[2]
+	if lossy.Loss == 0 || lossy.Retrans == 0 {
+		t.Errorf("lossy cell repaired nothing: %+v", lossy)
+	}
+}
+
+func TestRunFigureLoss(t *testing.T) {
+	s, err := RunFigure("loss", false, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Figure != "loss" || len(s.Rows) != 6 {
+		t.Fatalf("unexpected series: figure=%q rows=%d", s.Figure, len(s.Rows))
+	}
+}

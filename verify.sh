@@ -1,0 +1,10 @@
+#!/bin/sh
+# Full verification: build, vet, the whole test suite, then the race
+# detector over the concurrency-bearing packages (the round simulator
+# with its fault/ARQ layer, and the parallel experiment campaigns).
+set -ex
+
+go build ./...
+go vet ./...
+go test ./...
+go test -race ./internal/dist/ ./internal/experiment/
