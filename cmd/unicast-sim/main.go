@@ -1,12 +1,15 @@
 // Command unicast-sim regenerates the paper's evaluation (Figure 3):
 // the overpayment study of the truthful unicast mechanism, plus this
-// repository's extension experiments ("node", "topo", and "loss" —
-// the distributed protocol's convergence, false-accusation and
-// overhead profile on lossy crashing networks).
+// repository's extension experiments — "node", "topo", "loss" (the
+// distributed protocol's convergence, false-accusation and overhead
+// profile on lossy crashing networks) and "oracle" (the differential
+// soak campaign: every payment engine cross-checked over randomized
+// topologies against the mechanism invariants, expected violations
+// zero, with minimized counterexample dumps replayable via paytool).
 //
 // Usage:
 //
-//	unicast-sim [-figure 3a..3f|node|topo|life|ptilde|loss|all] [-full] [-seed N] [-csv]
+//	unicast-sim [-figure 3a..3f|node|topo|life|ptilde|loss|oracle|all] [-full] [-seed N] [-csv]
 //
 // Without -full a reduced smoke-sized campaign runs in seconds; with
 // -full the paper's exact parameters are used (node counts 100..500,

@@ -28,7 +28,7 @@ import (
 func RunUnicastSim(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("unicast-sim", flag.ContinueOnError)
 	fs.SetOutput(stderr)
-	figure := fs.String("figure", "all", "panel to regenerate: 3a..3f, node, topo, life, ptilde, or all")
+	figure := fs.String("figure", "all", "panel to regenerate: 3a..3f, node, topo, life, ptilde, loss, oracle, or all")
 	full := fs.Bool("full", false, "use the paper's full parameters (slow)")
 	seed := fs.Uint64("seed", 2004, "random seed (runs are reproducible per seed)")
 	asCSV := fs.Bool("csv", false, "emit CSV instead of aligned tables")

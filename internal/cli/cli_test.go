@@ -347,3 +347,89 @@ func TestParseFaultPlanNilWhenUnset(t *testing.T) {
 		t.Errorf("crash spec parse: %+v, %v", plan, err)
 	}
 }
+
+// TestPaytoolUsageExitCodes pins the argument-handling contract of
+// cmd/paytool: usage mistakes exit 2 with the flag usage (or a
+// paytool-prefixed diagnostic) on stderr, while runtime failures such
+// as an unreadable graph file exit 1.
+func TestPaytoolUsageExitCodes(t *testing.T) {
+	path := writeGraphFile(t, graph.Figure2())
+
+	var out, errOut strings.Builder
+	if code := RunPaytool([]string{"-badflag"}, &out, &errOut); code != 2 {
+		t.Errorf("bad flag exit = %d, want 2", code)
+	}
+	if !strings.Contains(errOut.String(), "Usage of paytool") {
+		t.Errorf("bad flag stderr missing usage: %q", errOut.String())
+	}
+
+	usageCases := [][]string{
+		{},               // neither graph flag
+		{"-graph", path}, // no source
+		{"-graph", path, "-linkgraph", path, "-source", "1"}, // both graphs
+	}
+	for _, args := range usageCases {
+		var o, e strings.Builder
+		if code := RunPaytool(args, &o, &e); code != 2 {
+			t.Errorf("args %v: exit %d, want 2 (%s)", args, code, e.String())
+		}
+		if !strings.Contains(e.String(), "paytool:") {
+			t.Errorf("args %v: stderr missing diagnostic: %q", args, e.String())
+		}
+	}
+
+	var o, e strings.Builder
+	if code := RunPaytool([]string{"-graph", "/does/not/exist", "-source", "1"}, &o, &e); code != 1 {
+		t.Errorf("missing file exit = %d, want 1 (%s)", code, e.String())
+	}
+}
+
+// TestNetgenPaytoolPipelineDeterministic: the documented workflow —
+// generate an instance with netgen, quote it with paytool — is
+// bit-reproducible for a fixed seed, end to end.
+func TestNetgenPaytoolPipelineDeterministic(t *testing.T) {
+	quote := func() string {
+		var gen, genErr strings.Builder
+		if code := RunNetgen([]string{"-n", "25", "-side", "700", "-range", "250", "-seed", "11"}, &gen, &genErr); code != 0 {
+			t.Fatalf("netgen exit %d: %s", code, genErr.String())
+		}
+		path := filepath.Join(t.TempDir(), "g.json")
+		if err := os.WriteFile(path, []byte(gen.String()), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		var out, errOut strings.Builder
+		if code := RunPaytool([]string{"-graph", path, "-source", "9", "-json"}, &out, &errOut); code != 0 {
+			t.Fatalf("paytool exit %d: %s", code, errOut.String())
+		}
+		return out.String()
+	}
+	first := quote()
+	if first != quote() {
+		t.Error("fixed-seed netgen|paytool pipeline is not deterministic")
+	}
+	var decoded struct {
+		Path  []int   `json:"path"`
+		Total float64 `json:"total"`
+	}
+	if err := json.Unmarshal([]byte(first), &decoded); err != nil {
+		t.Fatalf("pipeline quote is not JSON: %v\n%s", err, first)
+	}
+	if len(decoded.Path) < 2 || decoded.Total <= 0 {
+		t.Errorf("degenerate pipeline quote: %+v", decoded)
+	}
+}
+
+// TestUnicastSimOracleFigure smoke-runs the differential-oracle soak
+// through the CLI exactly as a user would invoke it.
+func TestUnicastSimOracleFigure(t *testing.T) {
+	code, out, errOut := runSim(t, "-figure", "oracle", "-seed", "7")
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut)
+	}
+	if !strings.Contains(out, "Figure oracle") || !strings.Contains(out, "violations") {
+		t.Errorf("oracle figure output malformed: %q", out)
+	}
+	if !strings.Contains(out, "engine-fast") || !strings.Contains(out, "distributed") {
+		t.Errorf("oracle figure missing invariant rows: %q", out)
+	}
+}

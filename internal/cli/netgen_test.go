@@ -97,3 +97,29 @@ func TestNetgenDeploymentModel(t *testing.T) {
 		t.Fatalf("N = %d", d.N())
 	}
 }
+
+// TestNetgenUsageExitCodes pins cmd/netgen's argument contract: every
+// usage mistake exits 2, and an undefined flag prints the usage text
+// on stderr.
+func TestNetgenUsageExitCodes(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := RunNetgen([]string{"-badflag"}, &out, &errOut); code != 2 {
+		t.Errorf("bad flag exit = %d, want 2", code)
+	}
+	if !strings.Contains(errOut.String(), "Usage of netgen") {
+		t.Errorf("bad flag stderr missing usage: %q", errOut.String())
+	}
+	for _, args := range [][]string{
+		{"-model", "bogus"},
+		{"-n", "0"},
+		{"-n", "-3"},
+	} {
+		var o, e strings.Builder
+		if code := RunNetgen(args, &o, &e); code != 2 {
+			t.Errorf("args %v: exit %d, want 2 (%s)", args, code, e.String())
+		}
+		if e.String() == "" {
+			t.Errorf("args %v: no diagnostic on stderr", args)
+		}
+	}
+}

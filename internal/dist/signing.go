@@ -3,9 +3,6 @@ package dist
 import (
 	"crypto/hmac"
 	"crypto/sha256"
-	"encoding/binary"
-	"math"
-	"sort"
 
 	"truthroute/internal/auth"
 )
@@ -22,63 +19,14 @@ import (
 // the forgeries go through and the protocol is corrupted — the
 // contrast signing_test.go demonstrates.
 
-// messageDigest canonically serializes the signed fields. Map-valued
-// payloads are serialized in sorted key order so the digest is
-// deterministic.
-func messageDigest(m *Message) []byte {
-	buf := make([]byte, 0, 64)
-	w64 := func(x uint64) { buf = binary.BigEndian.AppendUint64(buf, x) }
-	wi := func(x int) { w64(uint64(int64(x))) }
-	wf := func(x float64) { w64(math.Float64bits(x)) }
-	wi(m.From)
-	// To is deliberately excluded: one broadcast, one signature.
-	switch {
-	case m.SPT != nil:
-		buf = append(buf, 's')
-		wf(m.SPT.D)
-		wi(m.SPT.FH)
-		wf(m.SPT.Cost)
-		wi(m.SPT.Gen)
-		wi(len(m.SPT.Path))
-		for _, v := range m.SPT.Path {
-			wi(v)
-		}
-	case m.Price != nil:
-		buf = append(buf, 'p')
-		wi(m.Price.Gen)
-		keys := make([]int, 0, len(m.Price.Prices))
-		for k := range m.Price.Prices {
-			keys = append(keys, k)
-		}
-		sort.Ints(keys)
-		for _, k := range keys {
-			wi(k)
-			wf(m.Price.Prices[k])
-			tr, ok := m.Price.Triggers[k]
-			if !ok {
-				tr = -1
-			}
-			wi(tr)
-		}
-	case m.Correct != nil:
-		buf = append(buf, 'c')
-		wf(m.Correct.D)
-		wi(len(m.Correct.Path))
-		for _, v := range m.Correct.Path {
-			wi(v)
-		}
-	case m.Accuse != nil:
-		buf = append(buf, 'a')
-		wi(m.Accuse.Offender)
-		buf = append(buf, m.Accuse.Kind...)
-	}
-	return buf
-}
-
-// signMessage produces the transmitter's HMAC over the message.
+// signMessage produces the transmitter's HMAC over the message's
+// canonical wire encoding (wire.go): what is signed and what would
+// travel on the radio are the same bytes by construction. To is
+// deliberately excluded from the encoding: one broadcast, one
+// signature.
 func signMessage(key auth.Key, m *Message) []byte {
 	mac := hmac.New(sha256.New, key)
-	mac.Write(messageDigest(m))
+	mac.Write(EncodeMessage(m))
 	return mac.Sum(nil)
 }
 

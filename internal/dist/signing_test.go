@@ -105,8 +105,8 @@ func TestSigningTransparentForHonestRuns(t *testing.T) {
 	}
 }
 
-// TestMessageDigestDeterminism: map-valued payloads digest
-// identically regardless of insertion order.
+// TestMessageDigestDeterminism: map-valued payloads encode (and thus
+// sign) identically regardless of insertion order.
 func TestMessageDigestDeterminism(t *testing.T) {
 	a := &Message{From: 1, Price: &PriceAnnounce{
 		Prices:   map[int]float64{3: 1.5, 7: 2.5, 5: 9},
@@ -116,16 +116,16 @@ func TestMessageDigestDeterminism(t *testing.T) {
 		Prices:   map[int]float64{7: 2.5, 5: 9, 3: 1.5},
 		Triggers: map[int]int{5: 6, 3: 2, 7: 4},
 	}}
-	da, db := messageDigest(a), messageDigest(b)
+	da, db := EncodeMessage(a), EncodeMessage(b)
 	if string(da) != string(db) {
-		t.Error("digest depends on map order")
+		t.Error("encoding depends on map order")
 	}
 	// And it distinguishes different payloads.
 	c := &Message{From: 1, Price: &PriceAnnounce{
 		Prices:   map[int]float64{3: 1.5, 7: 2.5, 5: 9.0001},
 		Triggers: map[int]int{3: 2, 7: 4, 5: 6},
 	}}
-	if string(da) == string(messageDigest(c)) {
-		t.Error("digest collision on different prices")
+	if string(da) == string(EncodeMessage(c)) {
+		t.Error("encoding collision on different prices")
 	}
 }

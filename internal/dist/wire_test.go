@@ -1,0 +1,167 @@
+package dist
+
+import (
+	"bytes"
+	"math"
+	"reflect"
+	"testing"
+)
+
+// wireSamples covers every payload type, including the edge shapes
+// the protocol actually produces (infinite distances, empty price
+// maps, nil paths, missing triggers).
+func wireSamples() []*Message {
+	return []*Message{
+		{From: 3, SPT: &SPTAnnounce{D: 4.25, FH: 1, Path: []int{3, 1, 0}, Cost: 2, Gen: 7}},
+		{From: 5, SPT: &SPTAnnounce{D: math.Inf(1), FH: -1, Gen: 1}},
+		{From: 2, Price: &PriceAnnounce{Gen: 4,
+			Prices:   map[int]float64{1: 2.5, 4: math.Inf(1), 9: 0},
+			Triggers: map[int]int{1: 6, 9: 0}}},
+		{From: 8, Price: &PriceAnnounce{Prices: map[int]float64{}, Triggers: map[int]int{}}},
+		{From: 1, Correct: &Correction{D: 3.75, Path: []int{1, 2, 0}}},
+		{From: 6, Correct: &Correction{D: 0}},
+		{From: 4, Accuse: &Accusation{Offender: 2, Kind: "understated price entry"}},
+		{From: 0, Accuse: &Accusation{Offender: 1, Kind: ""}},
+	}
+}
+
+func TestWireRoundTrip(t *testing.T) {
+	for i, m := range wireSamples() {
+		enc := EncodeMessage(m)
+		got, err := DecodeMessage(enc)
+		if err != nil {
+			t.Fatalf("sample %d: decode: %v", i, err)
+		}
+		if got.From != m.From {
+			t.Errorf("sample %d: From %d != %d", i, got.From, m.From)
+		}
+		// Compare payloads structurally; nil and empty path/maps are
+		// wire-equivalent, so re-encode for the byte-level check.
+		if !bytes.Equal(EncodeMessage(got), enc) {
+			t.Errorf("sample %d: re-encoding differs", i)
+		}
+		switch {
+		case m.SPT != nil:
+			if got.SPT == nil || got.SPT.D != m.SPT.D || got.SPT.FH != m.SPT.FH ||
+				got.SPT.Gen != m.SPT.Gen || !reflect.DeepEqual(pathOf(got.SPT.Path), pathOf(m.SPT.Path)) {
+				t.Errorf("sample %d: SPT %+v != %+v", i, got.SPT, m.SPT)
+			}
+		case m.Price != nil:
+			if got.Price == nil || !reflect.DeepEqual(got.Price.Prices, m.Price.Prices) ||
+				!reflect.DeepEqual(got.Price.Triggers, m.Price.Triggers) {
+				t.Errorf("sample %d: Price %+v != %+v", i, got.Price, m.Price)
+			}
+		case m.Correct != nil:
+			if got.Correct == nil || got.Correct.D != m.Correct.D ||
+				!reflect.DeepEqual(pathOf(got.Correct.Path), pathOf(m.Correct.Path)) {
+				t.Errorf("sample %d: Correct %+v != %+v", i, got.Correct, m.Correct)
+			}
+		case m.Accuse != nil:
+			if got.Accuse == nil || *got.Accuse != *m.Accuse {
+				t.Errorf("sample %d: Accuse %+v != %+v", i, got.Accuse, m.Accuse)
+			}
+		}
+	}
+}
+
+func pathOf(p []int) []int {
+	if len(p) == 0 {
+		return nil
+	}
+	return p
+}
+
+func TestWireRejectsMalformed(t *testing.T) {
+	good := EncodeMessage(wireSamples()[0])
+	cases := map[string][]byte{
+		"empty":          {},
+		"version only":   {wireVersion},
+		"bad version":    append([]byte{99}, good[1:]...),
+		"truncated":      good[:len(good)-3],
+		"trailing bytes": append(append([]byte{}, good...), 0),
+		"unknown tag": func() []byte {
+			b := append([]byte{}, good...)
+			b[9] = 'z'
+			return b
+		}(),
+		// A price map claiming 2^40 entries must fail on the length
+		// check, not allocate.
+		"huge map claim": {wireVersion,
+			0, 0, 0, 0, 0, 0, 0, 1, // from = 1
+			tagPrice,
+			0, 0, 0, 0, 0, 0, 0, 0, // gen
+			0, 0, 1, 0, 0, 0, 0, 0, // count = 2^40
+		},
+	}
+	for name, data := range cases {
+		if m, err := DecodeMessage(data); err == nil {
+			t.Errorf("%s: decoded %+v, want error", name, m)
+		}
+	}
+}
+
+func TestWireRejectsUnsortedPrices(t *testing.T) {
+	// Hand-build a price payload with entries 4 then 1.
+	var b []byte
+	b = append(b, wireVersion)
+	wi := func(x int64) {
+		for s := 56; s >= 0; s -= 8 {
+			b = append(b, byte(uint64(x)>>uint(s)))
+		}
+	}
+	wi(2) // from
+	b = append(b, tagPrice)
+	wi(0) // gen
+	wi(2) // entries
+	wi(4) // relay 4
+	wi(int64(math.Float64bits(1.5)))
+	wi(-1) // no trigger
+	wi(1)  // relay 1 — out of order
+	wi(int64(math.Float64bits(2.5)))
+	wi(-1)
+	if m, err := DecodeMessage(b); err == nil {
+		t.Fatalf("unsorted prices decoded: %+v", m)
+	}
+}
+
+func TestWireRejectsNaN(t *testing.T) {
+	m := &Message{From: 1, Correct: &Correction{D: 2, Path: []int{1, 0}}}
+	enc := EncodeMessage(m)
+	// Overwrite D (bytes 10..17) with a NaN pattern.
+	nan := math.Float64bits(math.NaN())
+	for i := 0; i < 8; i++ {
+		enc[10+i] = byte(nan >> uint(56-8*i))
+	}
+	if got, err := DecodeMessage(enc); err == nil {
+		t.Fatalf("NaN distance decoded: %+v", got)
+	}
+}
+
+func TestEncodePanicsWithoutPayload(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for payload-less message")
+		}
+	}()
+	EncodeMessage(&Message{From: 1})
+}
+
+// FuzzDecodeMessage hardens the untrusted-input parser: arbitrary
+// bytes must either fail cleanly or decode to a message whose
+// canonical re-encoding reproduces the input bit-for-bit.
+func FuzzDecodeMessage(f *testing.F) {
+	for _, m := range wireSamples() {
+		f.Add(EncodeMessage(m))
+	}
+	f.Add([]byte{})
+	f.Add([]byte{wireVersion})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := DecodeMessage(data)
+		if err != nil {
+			return
+		}
+		if !bytes.Equal(EncodeMessage(m), data) {
+			t.Fatalf("accepted input is not canonical: %x", data)
+		}
+	})
+}

@@ -78,7 +78,7 @@ func (s *Series) Render(w io.Writer) {
 // FigureIDs lists the reproducible experiments in order; "node" and
 // "topo" are this repository's extension experiments.
 func FigureIDs() []string {
-	return []string{"3a", "3b", "3c", "3d", "3e", "3f", "node", "topo", "life", "ptilde", "loss"}
+	return []string{"3a", "3b", "3c", "3d", "3e", "3f", "node", "topo", "life", "ptilde", "loss", "oracle"}
 }
 
 // RunFigure regenerates one panel of Figure 3 (or the extra "node"
@@ -210,6 +210,16 @@ func RunFigure(id string, full bool, seed uint64) (*Series, error) {
 				fmt.Sprintf("%.0f", r.Retrans)})
 		}
 		return s, nil
+	case "oracle":
+		topos, maxN := 60, 32
+		distEvery, faultEvery := 6, 2
+		if full {
+			topos, maxN = 600, 128
+			distEvery, faultEvery = 10, 2
+		}
+		rep := OracleCampaign{Topologies: topos, MaxN: maxN,
+			DistEvery: distEvery, FaultEvery: faultEvery, Seed: seed}.Run()
+		return renderOracle(rep, maxN), nil
 	default:
 		return nil, fmt.Errorf("experiment: unknown figure %q (have %v)", id, FigureIDs())
 	}

@@ -1,0 +1,86 @@
+package experiment
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateGoldens = flag.Bool("update", false, "rewrite the golden figure outputs under testdata/goldens")
+
+// goldenSeed pins every figure regeneration; the rendered tables
+// contain no timestamps or machine-dependent values, and every
+// campaign derives all randomness from (seed, instance index) with
+// index-addressed parallel writes, so the output is bit-stable across
+// runs, core counts and platforms.
+const goldenSeed = 2004
+
+// TestGoldenFigures regenerates every figure in quick mode and diffs
+// it against the checked-in golden: any drift in an experiment's
+// sampling, aggregation or rendering — intended or not — must show up
+// as a reviewed golden update, not silently.
+//
+// To refresh after an intentional change:
+//
+//	go test ./internal/experiment/ -run TestGoldenFigures -update
+func TestGoldenFigures(t *testing.T) {
+	for _, id := range FigureIDs() {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			s, err := RunFigure(id, false, goldenSeed)
+			if err != nil {
+				t.Fatalf("RunFigure(%q): %v", id, err)
+			}
+			var buf bytes.Buffer
+			s.Render(&buf)
+			path := filepath.Join("testdata", "goldens", id+".txt")
+			if *updateGoldens {
+				if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden (run with -update to create): %v", err)
+			}
+			if !bytes.Equal(buf.Bytes(), want) {
+				t.Errorf("figure %s drifted from golden %s\n--- golden ---\n%s--- got ---\n%s",
+					id, path, want, buf.Bytes())
+			}
+		})
+	}
+}
+
+// TestGoldenFilesComplete: every figure has a golden and no stale
+// golden lingers for a removed figure.
+func TestGoldenFilesComplete(t *testing.T) {
+	if *updateGoldens {
+		t.Skip("updating")
+	}
+	entries, err := os.ReadDir(filepath.Join("testdata", "goldens"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]bool{}
+	for _, id := range FigureIDs() {
+		want[id+".txt"] = true
+	}
+	got := map[string]bool{}
+	for _, e := range entries {
+		got[e.Name()] = true
+		if !want[e.Name()] {
+			t.Errorf("stale golden %s has no figure", e.Name())
+		}
+	}
+	for name := range want {
+		if !got[name] {
+			t.Errorf("figure golden %s missing", name)
+		}
+	}
+}

@@ -1,0 +1,89 @@
+package oracle
+
+import (
+	"math"
+
+	"truthroute/internal/graph"
+)
+
+// This file is the oracle's independent reference: exhaustive
+// enumeration of simple paths by depth-first search. It shares no
+// code with the Dijkstra-based engines it checks — no shortest-path
+// trees, no heaps, no replacement-path tricks — so agreement between
+// the two is strong evidence, not a shared bug. Exponential in the
+// worst case, it is only invoked for instances with at most
+// Options.BruteMaxN nodes.
+
+// brutePathCost returns the least ||P(s,t,d)|| — the sum of declared
+// costs over *interior* nodes — across all simple s→t paths avoiding
+// the banned nodes, or +Inf when none exists. banned may be nil; s
+// and t are never treated as banned.
+func brutePathCost(g *graph.NodeGraph, s, t int, banned []bool) float64 {
+	best := math.Inf(1)
+	visited := make([]bool, g.N())
+	visited[s] = true
+	var dfs func(v int, cost float64)
+	dfs = func(v int, cost float64) {
+		if cost >= best {
+			return // a longer prefix cannot beat a completed path
+		}
+		for _, w := range g.Neighbors(v) {
+			if w == t {
+				if cost < best {
+					best = cost
+				}
+				continue
+			}
+			if visited[w] || (banned != nil && banned[w]) {
+				continue
+			}
+			visited[w] = true
+			dfs(w, cost+g.Cost(w))
+			visited[w] = false
+		}
+	}
+	dfs(s, 0)
+	return best
+}
+
+// bruteVCGPayments recomputes the §III.A payment of every relay on
+// path from first principles: p^k = ||P_-k(s,t,d)|| − ||P(s,t,d)|| +
+// d_k with both path costs obtained by exhaustive enumeration.
+func bruteVCGPayments(g *graph.NodeGraph, s, t int, path []int) map[int]float64 {
+	cost := brutePathCost(g, s, t, nil)
+	banned := make([]bool, g.N())
+	out := make(map[int]float64, len(path))
+	for i := 1; i+1 < len(path); i++ {
+		k := path[i]
+		banned[k] = true
+		out[k] = brutePathCost(g, s, t, banned) - cost + g.Cost(k)
+		banned[k] = false
+	}
+	return out
+}
+
+// bruteSetPayment recomputes the §III.E set payment of node k against
+// an arbitrary collusion set (for p̃, k's closed neighbourhood): the
+// least cost avoiding the whole set minus the LCP cost, plus d_k if k
+// relays. Deliberately NO shortcut for sets disjoint from the path —
+// SetQuote takes one, and the reference must be able to catch a bug
+// in it; for such sets the LCP survives the removal and the honest
+// difference computes to exactly 0.
+func bruteSetPayment(g *graph.NodeGraph, s, t int, path []int, k int, set []int) float64 {
+	interior := make(map[int]bool, len(path))
+	for i := 1; i+1 < len(path); i++ {
+		interior[path[i]] = true
+	}
+	banned := make([]bool, g.N())
+	for _, v := range set {
+		if v != s && v != t {
+			banned[v] = true
+		}
+	}
+	cost := brutePathCost(g, s, t, nil)
+	pay := brutePathCost(g, s, t, banned) - cost
+	if interior[k] {
+		pay += g.Cost(k)
+	}
+	return pay
+}

@@ -1,0 +1,45 @@
+package oracle
+
+import "truthroute/internal/graph"
+
+// Minimize shrinks a failing topology to a smaller counterexample: it
+// greedily deletes edges, keeping each deletion only while the named
+// check still fails, until no single edge can be removed. Node
+// identities are preserved — dest, the violation's source and any
+// fault plan's crash nodes must stay meaningful — so nodes are only
+// ever isolated, never renumbered. The returned violation is the one
+// observed on the minimized graph. ok is false when the input does
+// not reproduce the check failure at all (a flaky or mis-attributed
+// report); the input graph is then returned unchanged.
+//
+// Every probe is one full CheckInstance run with the same Options
+// that produced the failure, so a minimized counterexample replays
+// byte-for-byte under the same configuration.
+func Minimize(g *graph.NodeGraph, dest int, opt Options, check string) (*graph.NodeGraph, Violation, bool) {
+	fails := func(h *graph.NodeGraph) (Violation, bool) {
+		for _, v := range CheckInstance(h, dest, opt).Violations {
+			if v.Check == check {
+				return v, true
+			}
+		}
+		return Violation{}, false
+	}
+	cur := g.Clone()
+	last, ok := fails(cur)
+	if !ok {
+		return g, Violation{}, false
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, e := range cur.Edges() {
+			cur.RemoveEdge(e[0], e[1])
+			if v, stillFails := fails(cur); stillFails {
+				last = v
+				changed = true
+			} else {
+				cur.AddEdge(e[0], e[1])
+			}
+		}
+	}
+	return cur, last, true
+}

@@ -1,10 +1,36 @@
 #!/bin/sh
-# Full verification: build, vet, the whole test suite, then the race
-# detector over the concurrency-bearing packages (the round simulator
-# with its fault/ARQ layer, and the parallel experiment campaigns).
+# Full verification: build, vet, the whole test suite with a ratcheted
+# coverage gate, the race detector over the concurrency-bearing
+# packages (the round simulator with its fault/ARQ layer, the parallel
+# experiment campaigns, and the oracle soak's worker pool), then a
+# short fuzzing smoke over every fuzz target (seeded corpora under
+# testdata/fuzz/ plus 10s of fresh inputs each).
 set -ex
 
 go build ./...
 go vet ./...
-go test ./...
-go test -race ./internal/dist/ ./internal/experiment/
+
+# Coverage-gated test run. The threshold only ratchets up: raise it
+# when new tests push the total higher; never lower it to admit an
+# untested change.
+COVER_MIN=93.0
+go test ./... -coverprofile=cover.out -coverpkg=./internal/...,.
+total=$(go tool cover -func=cover.out | awk '/^total:/ {sub(/%/, "", $NF); print $NF}')
+rm -f cover.out
+awk -v t="$total" -v m="$COVER_MIN" 'BEGIN {
+    printf "total coverage %.1f%% (minimum %.1f%%)\n", t, m
+    exit (t + 0 < m + 0) ? 1 : 0
+}'
+
+go test -race ./internal/dist/ ./internal/experiment/ ./internal/oracle/
+
+# Fuzz smoke: each target runs its checked-in corpus plus a short
+# burst of fresh inputs. Go allows one -fuzz pattern per invocation.
+FUZZTIME=${FUZZTIME:-10s}
+go test ./internal/oracle/ -fuzz '^FuzzOracleInvariants$' -fuzztime "$FUZZTIME"
+go test ./internal/oracle/ -fuzz '^FuzzOracleEngines$' -fuzztime "$FUZZTIME"
+go test ./internal/graph/ -fuzz '^FuzzReadNodeGraph$' -fuzztime "$FUZZTIME"
+go test ./internal/graph/ -fuzz '^FuzzReadLinkGraph$' -fuzztime "$FUZZTIME"
+go test ./internal/graph/ -fuzz '^FuzzReadEdgeWeighted$' -fuzztime "$FUZZTIME"
+go test ./internal/dist/ -fuzz '^FuzzDecodeMessage$' -fuzztime "$FUZZTIME"
+go test ./internal/wireless/ -fuzz '^FuzzReadDeployment$' -fuzztime "$FUZZTIME"
