@@ -7,6 +7,8 @@ package main
 import (
 	"fmt"
 	"math/rand/v2"
+	"os"
+	"sort"
 
 	"truthroute/internal/core"
 	"truthroute/internal/dist"
@@ -33,12 +35,19 @@ func main() {
 	}
 	central, err := core.UnicastQuote(g, src, 0, core.EngineFast)
 	if err != nil {
-		panic(err)
+		fmt.Fprintln(os.Stderr, "distributed:", err)
+		os.Exit(1)
 	}
 	st := net.States()[src]
 	fmt.Printf("node %d path %v\n", src, st.Path)
 	agree := true
-	for k, want := range central.Payments {
+	relays := make([]int, 0, len(central.Payments))
+	for k := range central.Payments {
+		relays = append(relays, k)
+	}
+	sort.Ints(relays)
+	for _, k := range relays {
+		want := central.Payments[k]
 		got := st.Prices[k]
 		fmt.Printf("  p_%d^%d: distributed %.4f, centralized %.4f\n", src, k, got, want)
 		if diff := got - want; diff > 1e-6 || diff < -1e-6 {

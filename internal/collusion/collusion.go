@@ -122,6 +122,7 @@ func FindResale(g *graph.NodeGraph, source, dest int, engine core.Engine) ([]Res
 		}
 	}
 	sort.Slice(out, func(i, j int) bool {
+		//lint:allow floatcmp exact tie-break keeps the comparator a transitive total order; an epsilon here would not
 		if out[i].Savings != out[j].Savings {
 			return out[i].Savings > out[j].Savings
 		}
@@ -145,6 +146,7 @@ func ScanResale(g *graph.NodeGraph, dest int, engine core.Engine) []Resale {
 		out = append(out, deals...)
 	}
 	sort.Slice(out, func(i, j int) bool {
+		//lint:allow floatcmp exact tie-break keeps the comparator a transitive total order; an epsilon here would not
 		if out[i].Savings != out[j].Savings {
 			return out[i].Savings > out[j].Savings
 		}

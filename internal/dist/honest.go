@@ -183,6 +183,7 @@ func (h *HonestNode) handleStage1(inbox []Message) []Message {
 		case m.SPT != nil:
 			a := m.SPT
 			j := m.From
+			//lint:allow floatcmp change detection on verbatim-copied replica state, not on recomputed arithmetic
 			if h.nbD[j] != a.D || h.nbFH[j] != a.FH {
 				// The neighbour's state moved: any running correction
 				// epoch restarts (it is responding, not refusing).

@@ -66,10 +66,12 @@ const Broadcast = -1
 // SPTAnnounce is a stage-1 state advertisement: the sender's current
 // distance to the access point, its first hop, and its full path
 // (needed by stage 2 to know which relays a neighbour pays).
+//
+// Field order is the canonical wire order (wire.go encodes fields in
+// declaration order; truthlint's wireorder analyzer enforces it).
 type SPTAnnounce struct {
 	D    float64
 	FH   int
-	Path []int // sender → ... → 0; nil until a route is known
 	Cost float64
 	// Gen is the sender's state generation: bumped on every route
 	// change and on reboot (a persistent boot counter, like the ARQ
@@ -77,19 +79,22 @@ type SPTAnnounce struct {
 	// with the SPT state they were computed under — under faults a
 	// price announcement is only meaningful against the matching
 	// generation.
-	Gen int
+	Gen  int
+	Path []int // sender → ... → 0; nil until a route is known
 }
 
 // PriceAnnounce is a stage-2 advertisement of the sender's current
 // price entries with the trigger neighbour of each (Algorithm 2
 // second stage, step 1: "it should also broadcast which node
 // triggered this change").
+// Field order is the canonical wire order (wire.go encodes fields in
+// declaration order; truthlint's wireorder analyzer enforces it).
 type PriceAnnounce struct {
-	Prices   map[int]float64 // relay k → p_sender^k
-	Triggers map[int]int     // relay k → neighbour that produced it
 	// Gen is the sender's state generation at computation time (see
 	// SPTAnnounce.Gen): these entries are relative to that route.
-	Gen int
+	Gen      int
+	Prices   map[int]float64 // relay k → p_sender^k
+	Triggers map[int]int     // relay k → neighbour that produced it
 }
 
 // Correction is Algorithm 2 stage 1's direct "reliable and secure

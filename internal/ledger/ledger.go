@@ -20,10 +20,23 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sort"
 
 	"truthroute/internal/auth"
 	"truthroute/internal/core"
 )
+
+// payees returns the relay ids of a quote's payment map in sorted
+// order, so settlement credits accounts and writes audit-log entries
+// in a replica-independent order.
+func payees(q *core.Quote) []int {
+	keys := make([]int, 0, len(q.Payments))
+	for k := range q.Payments {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
+}
 
 // ErrInsufficientFunds rejects a charge that would overdraw the
 // payer's account.
@@ -112,8 +125,8 @@ func (l *Ledger) SettleUplink(pkt auth.Packet, apAck auth.Ack, q *core.Quote, pa
 	}
 	l.seen[key] = true
 	l.balances[q.Source] -= total
-	for k, p := range q.Payments {
-		amt := p * float64(packets)
+	for _, k := range payees(q) {
+		amt := q.Payments[k] * float64(packets)
 		l.balances[k] += amt
 		l.log = append(l.log, Entry{Session: pkt.Session, Kind: "uplink", Payer: q.Source, Payee: k, Amount: amt})
 	}
@@ -140,9 +153,9 @@ func (l *Ledger) SettleDownlink(session uint64, q *core.Quote, acks []auth.Ack, 
 		}
 	}
 	due := 0.0
-	for k, p := range q.Payments {
+	for _, k := range payees(q) {
 		if valid[k] {
-			due += p * float64(packets)
+			due += q.Payments[k] * float64(packets)
 		} else {
 			unacked = append(unacked, k)
 		}
@@ -151,11 +164,11 @@ func (l *Ledger) SettleDownlink(session uint64, q *core.Quote, acks []auth.Ack, 
 		return nil, fmt.Errorf("%w: node %d has %g, owes %g", ErrInsufficientFunds, q.Source, l.balances[q.Source], due)
 	}
 	l.balances[q.Source] -= due
-	for k, p := range q.Payments {
+	for _, k := range payees(q) {
 		if !valid[k] {
 			continue
 		}
-		amt := p * float64(packets)
+		amt := q.Payments[k] * float64(packets)
 		l.balances[k] += amt
 		l.log = append(l.log, Entry{Session: session, Kind: "downlink", Payer: q.Source, Payee: k, Amount: amt})
 	}

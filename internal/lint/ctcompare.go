@@ -1,0 +1,55 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// CTCompare requires constant-time comparison for MAC and signature
+// material. bytes.Equal returns at the first differing byte, which
+// leaks how much of a forged HMAC prefix is correct — a classic
+// timing oracle against exactly the signatures §III.D relies on for
+// cheater detection. Scope: the crypto-bearing packages
+// (internal/auth, internal/dist) and any file that imports a
+// crypto/* package.
+var CTCompare = &Analyzer{
+	Name: "ctcompare",
+	Doc: "require hmac.Equal (constant-time), never bytes.Equal/bytes.Compare/" +
+		"reflect.DeepEqual, on signature and MAC bytes in crypto-bearing code",
+	Run: runCTCompare,
+}
+
+func runCTCompare(p *Pass) {
+	pkgScoped := strings.HasSuffix(p.Pkg.ImportPath, "/auth") ||
+		strings.HasSuffix(p.Pkg.ImportPath, "/dist")
+	for _, f := range p.Pkg.Files {
+		if !pkgScoped && !importsCrypto(f) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(p.Pkg, call)
+			switch {
+			case isPkgFunc(fn, "bytes", "Equal"), isPkgFunc(fn, "bytes", "Compare"):
+				p.Reportf(call.Pos(), "bytes.%s is variable-time and leaks a matching-prefix timing oracle on MACs; use hmac.Equal", fn.Name())
+			case isPkgFunc(fn, "reflect", "DeepEqual"):
+				p.Reportf(call.Pos(), "reflect.DeepEqual is variable-time; compare signature bytes with hmac.Equal")
+			}
+			return true
+		})
+	}
+}
+
+// importsCrypto reports whether f imports any crypto/* package.
+func importsCrypto(f *ast.File) bool {
+	for _, imp := range f.Imports {
+		path := strings.Trim(imp.Path.Value, `"`)
+		if path == "crypto" || strings.HasPrefix(path, "crypto/") {
+			return true
+		}
+	}
+	return false
+}

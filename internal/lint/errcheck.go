@@ -1,0 +1,98 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// ErrCheck flags statements that call a function returning an error
+// and drop the result on the floor (plain call statements, defer, and
+// go). A swallowed error in the payment pipeline turns "the graph
+// failed to load" into "everyone is paid zero", silently. An explicit
+// `_ =` discard stays visible in review and is deliberately not
+// flagged. Documented-infallible writers (bytes.Buffer,
+// strings.Builder, hash.Hash) and terminal diagnostics via the fmt
+// print family are excluded.
+var ErrCheck = &Analyzer{
+	Name: "errcheck",
+	Doc: "no silently discarded error returns in call/defer/go statements; " +
+		"fmt prints and infallible buffer writers excluded",
+	Run: runErrCheck,
+}
+
+// errcheckFmtExcluded is the fmt print family: write errors on
+// best-effort terminal output are conventionally unactionable.
+var errcheckFmtExcluded = map[string]bool{
+	"Print": true, "Printf": true, "Println": true,
+	"Fprint": true, "Fprintf": true, "Fprintln": true,
+}
+
+// errcheckRecvExcluded are receiver types whose methods are
+// documented never to return a non-nil error.
+var errcheckRecvExcluded = map[string]bool{
+	"*bytes.Buffer":    true,
+	"*strings.Builder": true,
+	"hash.Hash":        true,
+}
+
+func runErrCheck(p *Pass) {
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var call *ast.CallExpr
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				call, _ = n.X.(*ast.CallExpr)
+			case *ast.DeferStmt:
+				call = n.Call
+			case *ast.GoStmt:
+				call = n.Call
+			}
+			if call != nil {
+				checkDiscardedError(p, call)
+			}
+			return true
+		})
+	}
+}
+
+func checkDiscardedError(p *Pass, call *ast.CallExpr) {
+	sig, ok := p.Pkg.Info.TypeOf(call.Fun).(*types.Signature)
+	if !ok { // conversion or builtin
+		return
+	}
+	errType := types.Universe.Lookup("error").Type()
+	returnsErr := false
+	for i := 0; i < sig.Results().Len(); i++ {
+		if types.Identical(sig.Results().At(i).Type(), errType) {
+			returnsErr = true
+		}
+	}
+	if !returnsErr {
+		return
+	}
+	name := "function call"
+	if fn := calleeFunc(p.Pkg, call); fn != nil {
+		name = fn.Name()
+		if fsig, ok := fn.Type().(*types.Signature); ok && fsig.Recv() != nil {
+			// Prefer the static receiver type at the call site over
+			// the declaring type: hash.Hash's Write resolves to the
+			// embedded io.Writer, but the caller sees a hash.Hash.
+			recv := types.TypeString(fsig.Recv().Type(), nil)
+			if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+				if s := p.Pkg.Info.Selections[sel]; s != nil {
+					recv = types.TypeString(s.Recv(), nil)
+				}
+			}
+			if errcheckRecvExcluded[recv] {
+				return
+			}
+			name = "(" + recv + ")." + name
+		} else if fn.Pkg() != nil {
+			if fn.Pkg().Path() == "fmt" && errcheckFmtExcluded[fn.Name()] {
+				return
+			}
+			name = fn.Pkg().Name() + "." + name
+		}
+	}
+	p.Reportf(call.Pos(), "%s returns an error that is silently discarded; handle it or discard explicitly with _ =", name)
+}

@@ -1,0 +1,90 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"regexp"
+)
+
+// FloatCmp rejects == and != between floating-point expressions.
+// Payments and costs are float64 throughout; exact equality on them
+// is both numerically fragile and a truthfulness hazard (two replicas
+// disagreeing on p_i^k by one ULP triggers Algorithm 2's accusation
+// path). Comparisons belong in an epsilon helper (almostEqual-style,
+// as honest.go's priceEps discipline does). Exact comparison against
+// an infinity sentinel is allowed: Inf is a single representable
+// value used to mean "no route", not an arithmetic result.
+var FloatCmp = &Analyzer{
+	Name: "floatcmp",
+	Doc: "forbid ==/!= on float payment/cost expressions outside epsilon helpers " +
+		"(almostEqual-style); exact infinity sentinels are exempt",
+	Run: runFloatCmp,
+}
+
+// epsilonHelperRE matches function names that are themselves the
+// approved equality helpers, where a raw == is the implementation.
+var epsilonHelperRE = regexp.MustCompile(`(?i)^(almost|approx)`)
+
+func runFloatCmp(p *Pass) {
+	for _, f := range p.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if epsilonHelperRE.MatchString(fd.Name.Name) {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				be, ok := n.(*ast.BinaryExpr)
+				if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+					return true
+				}
+				checkFloatCmp(p, be)
+				return true
+			})
+		}
+	}
+}
+
+func checkFloatCmp(p *Pass, be *ast.BinaryExpr) {
+	tx, ty := p.Pkg.Info.Types[be.X], p.Pkg.Info.Types[be.Y]
+	if tx.Type == nil || ty.Type == nil || !isFloat(tx.Type) || !isFloat(ty.Type) {
+		return
+	}
+	if tx.Value != nil && ty.Value != nil { // both compile-time constants
+		return
+	}
+	// Exact zero is representable and idiomatic as an "unset" or
+	// "no traffic" sentinel; only inexact-arithmetic comparisons are
+	// the hazard.
+	if isZeroConst(tx.Value) || isZeroConst(ty.Value) {
+		return
+	}
+	if isInfSentinel(be.X) || isInfSentinel(be.Y) {
+		return
+	}
+	p.Reportf(be.OpPos, "float %s comparison; one ULP of disagreement between replicas flips it — use an epsilon helper (almostEqual-style)", be.Op)
+}
+
+// isZeroConst reports whether v is the exact constant zero.
+func isZeroConst(v constant.Value) bool {
+	return v != nil && v.Kind() != constant.Unknown && constant.Sign(v) == 0
+}
+
+// isInfSentinel reports whether e is an exact-infinity sentinel:
+// math.Inf(...) or a variable/constant named Inf (e.g. dist.Inf).
+func isInfSentinel(e ast.Expr) bool {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.CallExpr:
+		if sel, ok := ast.Unparen(e.Fun).(*ast.SelectorExpr); ok {
+			return sel.Sel.Name == "Inf"
+		}
+	case *ast.Ident:
+		return e.Name == "Inf"
+	case *ast.SelectorExpr:
+		return e.Sel.Name == "Inf"
+	}
+	return false
+}

@@ -1,0 +1,65 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"strings"
+)
+
+// PanicPolicy restricts panics to declared precondition guards.
+// Library packages may panic only with a constant "<pkg>: "-prefixed
+// message (the SetAsync/SetFaults post-start guards are the model):
+// such a panic names its origin, is greppable, and is evidently a
+// caller-contract violation rather than swallowed control flow.
+// Command and example binaries must not panic at all — a tool that
+// panics on malformed operator input prints a stack trace instead of
+// usage, and the paytool/netgen convention is exit code 2 with a
+// diagnostic.
+var PanicPolicy = &Analyzer{
+	Name: "panicpolicy",
+	Doc: "library panics must be constant '<pkg>: '-prefixed guard messages; " +
+		"main packages must not panic at all",
+	Run: runPanicPolicy,
+}
+
+func runPanicPolicy(p *Pass) {
+	prefix := p.Pkg.Name + ": "
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isBuiltin(p.Pkg, call, "panic") {
+				return true
+			}
+			if p.Pkg.Name == "main" {
+				p.Reportf(call.Pos(), "main packages must not panic; print the error and exit non-zero (paytool/netgen convention)")
+				return true
+			}
+			if len(call.Args) == 1 && isGuardMessage(p, call.Args[0], prefix) {
+				return true
+			}
+			p.Reportf(call.Pos(), "panic is only for declared guards: the argument must be a constant %q-prefixed message", prefix)
+			return true
+		})
+	}
+}
+
+// isGuardMessage reports whether e statically begins with prefix: a
+// constant string with the prefix, a concatenation whose leftmost
+// operand qualifies, or fmt.Sprintf/fmt.Errorf over a qualifying
+// format string.
+func isGuardMessage(p *Pass, e ast.Expr, prefix string) bool {
+	e = ast.Unparen(e)
+	if tv, ok := p.Pkg.Info.Types[e]; ok && tv.Value != nil && tv.Value.Kind() == constant.String {
+		return strings.HasPrefix(constant.StringVal(tv.Value), prefix)
+	}
+	switch e := e.(type) {
+	case *ast.BinaryExpr:
+		return isGuardMessage(p, e.X, prefix)
+	case *ast.CallExpr:
+		fn := calleeFunc(p.Pkg, e)
+		if (isPkgFunc(fn, "fmt", "Sprintf") || isPkgFunc(fn, "fmt", "Errorf")) && len(e.Args) > 0 {
+			return isGuardMessage(p, e.Args[0], prefix)
+		}
+	}
+	return false
+}

@@ -1,0 +1,38 @@
+// Package allow is a truthlint golden fixture for the lint:allow
+// hygiene rules: a bare allow suppresses nothing and is itself a
+// finding, as are allows naming unknown analyzers and allows that
+// suppress nothing.
+package allow
+
+import "time"
+
+// Bare: the directive has no reason, so the time.Now finding
+// survives AND the directive is flagged.
+func Bare() time.Time {
+	//lint:allow determinism // want `lint:allow determinism needs a reason`
+	return time.Now() // want `time\.Now reads the wall clock`
+}
+
+// Unknown analyzer names are typos waiting to suppress nothing.
+func Unknown() time.Time {
+	//lint:allow determinsim spelled wrong on purpose // want `unknown analyzer "determinsim"`
+	return time.Now() // want `time\.Now reads the wall clock`
+}
+
+// Stale: a reasoned allow for a clean line rots into noise.
+func Stale() int {
+	//lint:allow determinism nothing below is nondeterministic // want `lint:allow determinism suppresses nothing`
+	return 42
+}
+
+// Anonymous: an allow naming no analyzer at all.
+func Anonymous() int {
+	//lint:allow // want `lint:allow names no analyzer`
+	return 7
+}
+
+// Reasoned: the escape hatch used correctly — no findings at all.
+func Reasoned() time.Time {
+	//lint:allow determinism fixture demonstrates the happy path
+	return time.Now()
+}

@@ -1,0 +1,29 @@
+// Package ctcompare is a truthlint golden fixture for the ctcompare
+// analyzer. Importing crypto/hmac puts the file in scope.
+package ctcompare
+
+import (
+	"bytes"
+	"crypto/hmac"
+	"crypto/sha256"
+	"reflect"
+)
+
+// VerifyOK is the required constant-time comparison.
+func VerifyOK(key, msg, sig []byte) bool {
+	mac := hmac.New(sha256.New, key)
+	mac.Write(msg)
+	return hmac.Equal(mac.Sum(nil), sig)
+}
+
+func VerifyLeaky(want, got []byte) bool {
+	return bytes.Equal(want, got) // want `variable-time.*hmac\.Equal`
+}
+
+func VerifyLeakier(want, got []byte) bool {
+	return bytes.Compare(want, got) == 0 // want `variable-time.*hmac\.Equal`
+}
+
+func VerifyReflect(want, got []byte) bool {
+	return reflect.DeepEqual(want, got) // want `variable-time.*hmac\.Equal`
+}

@@ -1,0 +1,11 @@
+package ctcompare
+
+import "bytes"
+
+// PlainEqual is in a file with no crypto import and the package path
+// ends in neither /auth nor /dist... but the fixture directory is
+// named ctcompare, so only the import-scope rule matters here: this
+// file imports no crypto package, so bytes.Equal is fine.
+func PlainEqual(a, b []byte) bool {
+	return bytes.Equal(a, b)
+}

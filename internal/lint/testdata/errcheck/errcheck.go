@@ -1,0 +1,66 @@
+// Package errcheck is a truthlint golden fixture for the errcheck
+// analyzer.
+package errcheck
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"fmt"
+	"os"
+	"strings"
+)
+
+func report() error { return nil }
+
+func pair() (int, error) { return 0, nil }
+
+func Drops() {
+	report() // want `silently discarded`
+}
+
+func DropsPair() {
+	pair() // want `silently discarded`
+}
+
+func DropsDefer(f *os.File) {
+	defer f.Close() // want `silently discarded`
+}
+
+func DropsGo() {
+	go report() // want `silently discarded`
+}
+
+func DropsClosure() {
+	fn := func() error { return nil }
+	fn() // want `silently discarded`
+}
+
+// Checked handles the error; fine.
+func Checked() error {
+	if err := report(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// Explicit discards visibly; deliberately not flagged.
+func Explicit() {
+	_ = report()
+}
+
+// Excluded sinks: fmt prints, infallible buffer writers, hash.Hash.
+func Excluded(buf *bytes.Buffer, sb *strings.Builder) {
+	fmt.Println("status")
+	fmt.Fprintf(os.Stderr, "status\n")
+	buf.WriteString("x")
+	sb.WriteString("y")
+	h := sha256.New()
+	h.Write([]byte("z"))
+}
+
+// NoError returns nothing; statements are fine.
+func NoError() {
+	noop()
+}
+
+func noop() {}

@@ -1,0 +1,50 @@
+// Package floatcmp is a truthlint golden fixture for the floatcmp
+// analyzer.
+package floatcmp
+
+import "math"
+
+const eps = 1e-9
+
+// almostEqual is the approved epsilon helper: the raw == inside it
+// is the one place exact comparison is the implementation.
+func almostEqual(a, b float64) bool {
+	return a == b || math.Abs(a-b) <= eps
+}
+
+// ApproxSamePayment is also exempt by name.
+func ApproxSamePayment(a, b float64) bool {
+	return a == b
+}
+
+func SamePayment(pay, cost float64) bool {
+	return pay == cost // want `float == comparison`
+}
+
+func Changed(a, b float32) bool {
+	return a != b // want `float != comparison`
+}
+
+func ViaHelper(pay, cost float64) bool {
+	return almostEqual(pay, cost)
+}
+
+// Unreached compares against the exact infinity sentinel; allowed.
+func Unreached(d float64) bool {
+	return d == math.Inf(1)
+}
+
+// ZeroSentinel compares against exact zero; allowed.
+func ZeroSentinel(c float64) bool {
+	return c == 0
+}
+
+// Ints are exact; not this analyzer's business.
+func SameID(a, b int) bool {
+	return a == b
+}
+
+func Mixed(pay float64) bool {
+	total := pay * 3
+	return total != pay // want `float != comparison`
+}

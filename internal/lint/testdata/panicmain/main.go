@@ -1,0 +1,15 @@
+// Command panicmain is a truthlint golden fixture: main packages may
+// not panic at all, guard message or not.
+package main
+
+import "errors"
+
+func main() {
+	if err := run(); err != nil {
+		panic("panicmain: " + err.Error()) // want `main packages must not panic`
+	}
+}
+
+func run() error {
+	return errors.New("boom")
+}

@@ -1,0 +1,46 @@
+// Package panicpolicy is a truthlint golden fixture for the
+// panicpolicy analyzer. Library panics must be constant
+// "panicpolicy: "-prefixed guard messages.
+package panicpolicy
+
+import "fmt"
+
+// GuardLiteral is the canonical precondition guard.
+func GuardLiteral(n int) {
+	if n < 0 {
+		panic("panicpolicy: negative count")
+	}
+}
+
+// GuardSprintf formats detail into a prefixed template; fine.
+func GuardSprintf(n int) {
+	if n < 0 {
+		panic(fmt.Sprintf("panicpolicy: negative count %d", n))
+	}
+}
+
+// GuardConcat starts from a prefixed literal; fine.
+func GuardConcat(err error) {
+	panic("panicpolicy: setup failed: " + err.Error())
+}
+
+const guardMsg = "panicpolicy: const guard"
+
+// GuardConst panics with a prefixed constant; fine.
+func GuardConst() { panic(guardMsg) }
+
+func BadPrefix() {
+	panic("negative count") // want `constant "panicpolicy: "-prefixed`
+}
+
+func BadValue(err error) {
+	panic(err) // want `constant "panicpolicy: "-prefixed`
+}
+
+func BadSprintf(n int) {
+	panic(fmt.Sprintf("count %d", n)) // want `constant "panicpolicy: "-prefixed`
+}
+
+func BadDynamic(msg string) {
+	panic(msg + ": panicpolicy") // want `constant "panicpolicy: "-prefixed`
+}

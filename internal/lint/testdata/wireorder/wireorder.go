@@ -1,0 +1,49 @@
+// Package wireorder is a truthlint golden fixture for the wireorder
+// analyzer: Encode* functions must emit struct fields in declaration
+// order, because the struct declaration is the wire-format spec the
+// HMAC canonical bytes are defined by.
+package wireorder
+
+import "encoding/binary"
+
+type frame struct {
+	Version byte
+	Seq     uint64
+	Kind    byte
+	Body    []byte
+}
+
+// EncodeFrame emits Kind before Seq: the declaration says Seq is on
+// the wire first, so one of them is lying.
+func EncodeFrame(f *frame) []byte {
+	buf := make([]byte, 0, 16)
+	put := func(b byte) { buf = append(buf, b) }
+	putU64 := func(x uint64) { buf = binary.BigEndian.AppendUint64(buf, x) }
+	put(f.Version)
+	put(f.Kind)
+	putU64(f.Seq) // want `Seq \(field 1\) is emitted after Kind \(field 2\)`
+	buf = append(buf, f.Body...)
+	return buf
+}
+
+// EncodeFrameCanonical matches declaration order, including the len
+// pre-pass for the variable-length tail.
+func EncodeFrameCanonical(f *frame) []byte {
+	buf := make([]byte, 0, 16)
+	put := func(b byte) { buf = append(buf, b) }
+	putU64 := func(x uint64) { buf = binary.BigEndian.AppendUint64(buf, x) }
+	put(f.Version)
+	putU64(f.Seq)
+	put(f.Kind)
+	putU64(uint64(len(f.Body)))
+	buf = append(buf, f.Body...)
+	return buf
+}
+
+// decodeFrame is not an Encode* function; reads in any order are its
+// own business.
+func decodeFrame(buf []byte, f *frame) {
+	f.Kind = buf[9]
+	f.Version = buf[0]
+	f.Seq = binary.BigEndian.Uint64(buf[1:9])
+}

@@ -1,0 +1,82 @@
+package lint
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Main implements the truthlint command (cmd/truthlint is a thin
+// wrapper, following the paytool/netgen convention). It lints the
+// enclosing module at the given package patterns and returns the
+// process exit code: 0 clean, 1 findings, 2 usage or load errors.
+func Main(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("truthlint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: truthlint [flags] [package pattern ...]\n")
+		fmt.Fprintf(stderr, "Patterns are module-root-relative (default ./...); ./x/... walks a subtree.\n")
+		fmt.Fprintf(stderr, "Exit codes: 0 clean, 1 findings, 2 usage/load error.\n\nFlags:\n")
+		fs.PrintDefaults()
+	}
+	asJSON := fs.Bool("json", false, "emit diagnostics as a JSON array")
+	enabled := map[string]*bool{}
+	for _, a := range Analyzers {
+		enabled[a.Name] = fs.Bool(a.Name, true, "enable the "+a.Name+" analyzer ("+a.Doc+")")
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(stderr, "truthlint:", err)
+		return 2
+	}
+	root, err := FindModuleRoot(cwd)
+	if err != nil {
+		fmt.Fprintln(stderr, "truthlint:", err)
+		return 2
+	}
+	mod, err := LoadModule(root)
+	if err != nil {
+		fmt.Fprintln(stderr, "truthlint:", err)
+		return 2
+	}
+	pkgs, err := mod.Load(patterns...)
+	if err != nil {
+		fmt.Fprintln(stderr, "truthlint:", err)
+		return 2
+	}
+	var run []*Analyzer
+	for _, a := range Analyzers {
+		if *enabled[a.Name] {
+			run = append(run, a)
+		}
+	}
+	diags := RunAnalyzers(mod, pkgs, run)
+	if *asJSON {
+		if diags == nil {
+			diags = []Diagnostic{}
+		}
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(diags); err != nil {
+			fmt.Fprintln(stderr, "truthlint:", err)
+			return 2
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Fprintln(stdout, d)
+		}
+	}
+	if len(diags) > 0 {
+		return 1
+	}
+	return 0
+}

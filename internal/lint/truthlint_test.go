@@ -1,0 +1,110 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// runMain invokes the CLI entry point with captured streams.
+func runMain(args ...string) (code int, stdout, stderr string) {
+	var out, errb bytes.Buffer
+	code = Main(args, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+func TestMainTextOutput(t *testing.T) {
+	code, out, errb := runMain("./internal/lint/testdata/floatcmp")
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1 (known-bad fixture); stderr: %s", code, errb)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) == 0 {
+		t.Fatal("no diagnostics printed")
+	}
+	lineRE := regexp.MustCompile(`^internal/lint/testdata/floatcmp/floatcmp\.go:\d+:\d+: \[floatcmp\] `)
+	for _, l := range lines {
+		if !lineRE.MatchString(l) {
+			t.Errorf("line %q does not match file:line:col: [analyzer] message", l)
+		}
+	}
+}
+
+// TestMainJSONStable checks -json emits a valid array and that two
+// runs over the same tree are byte-identical: the linter itself obeys
+// the determinism discipline it enforces.
+func TestMainJSONStable(t *testing.T) {
+	code1, out1, errb := runMain("-json", "./internal/lint/testdata/floatcmp")
+	if code1 != 1 {
+		t.Fatalf("exit = %d, want 1; stderr: %s", code1, errb)
+	}
+	code2, out2, _ := runMain("-json", "./internal/lint/testdata/floatcmp")
+	if code2 != 1 {
+		t.Fatalf("second run exit = %d, want 1", code2)
+	}
+	if out1 != out2 {
+		t.Errorf("-json output differs between identical runs:\n%s\n---\n%s", out1, out2)
+	}
+	var diags []Diagnostic
+	if err := json.Unmarshal([]byte(out1), &diags); err != nil {
+		t.Fatalf("-json output is not a JSON array of diagnostics: %v", err)
+	}
+	if len(diags) == 0 {
+		t.Fatal("no diagnostics decoded from the known-bad fixture")
+	}
+	for _, d := range diags {
+		if d.Analyzer != "floatcmp" || d.File == "" || d.Line == 0 || d.Message == "" {
+			t.Errorf("incomplete diagnostic: %+v", d)
+		}
+	}
+}
+
+// TestMainJSONEmpty checks the clean-run -json output is an empty
+// array, not null.
+func TestMainJSONEmpty(t *testing.T) {
+	code, out, errb := runMain("-json", "-floatcmp=false", "./internal/lint/testdata/floatcmp")
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0 with the only relevant analyzer disabled; stderr: %s", code, errb)
+	}
+	if got := strings.TrimSpace(out); got != "[]" {
+		t.Errorf("clean -json output = %q, want []", got)
+	}
+}
+
+// TestMainDisableFlag checks per-analyzer kill switches both ways.
+func TestMainDisableFlag(t *testing.T) {
+	code, out, _ := runMain("-floatcmp=false", "./internal/lint/testdata/floatcmp")
+	if code != 0 || out != "" {
+		t.Errorf("-floatcmp=false on the floatcmp fixture: exit %d, output %q; want 0, empty", code, out)
+	}
+	// Disabling an unrelated analyzer must not mask the findings.
+	code, out, _ = runMain("-determinism=false", "./internal/lint/testdata/floatcmp")
+	if code != 1 || out == "" {
+		t.Errorf("-determinism=false on the floatcmp fixture: exit %d, output %q; want 1 with findings", code, out)
+	}
+}
+
+func TestMainUsageError(t *testing.T) {
+	code, out, errb := runMain("-definitely-not-a-flag")
+	if code != 2 {
+		t.Fatalf("exit = %d, want 2 for a bad flag", code)
+	}
+	if out != "" {
+		t.Errorf("usage error wrote to stdout: %q", out)
+	}
+	if !strings.Contains(errb, "usage: truthlint") {
+		t.Errorf("stderr missing usage text: %q", errb)
+	}
+}
+
+func TestMainBadPattern(t *testing.T) {
+	code, _, errb := runMain("./no/such/dir")
+	if code != 2 {
+		t.Fatalf("exit = %d, want 2 for a bad pattern", code)
+	}
+	if !strings.Contains(errb, "no such package directory") {
+		t.Errorf("stderr missing load error: %q", errb)
+	}
+}

@@ -1,0 +1,101 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// WireOrder checks that Encode* functions emit struct fields in
+// declaration order. The §III.D HMAC is computed over the canonical
+// wire bytes, so the struct declaration doubles as the wire-format
+// specification; an encoder that reads fields out of declaration
+// order either documents the format wrongly or silently reordered the
+// canonical bytes (breaking every stored signature and fuzz corpus).
+//
+// Mechanically: inside every function named Encode*/encode*, field
+// selector reads that appear in the arguments of local emitter calls
+// (identifier callees — the w64/wi/wf-style closures, append, len,
+// make) must visit each struct's fields at non-decreasing declaration
+// index. Reads outside emitter calls (nil-payload guards, map range
+// expressions) don't constrain the order.
+var WireOrder = &Analyzer{
+	Name: "wireorder",
+	Doc: "Encode* functions must emit struct fields in declaration order so the " +
+		"struct declaration is the wire-format specification",
+	Run: runWireOrder,
+}
+
+func runWireOrder(p *Pass) {
+	for _, f := range p.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			name := fd.Name.Name
+			if !strings.HasPrefix(name, "Encode") && !strings.HasPrefix(name, "encode") {
+				continue
+			}
+			checkEncodeOrder(p, fd)
+		}
+	}
+}
+
+// fieldRead is the last-seen emission per struct type.
+type fieldRead struct {
+	index int
+	name  string
+}
+
+func checkEncodeOrder(p *Pass, fd *ast.FuncDecl) {
+	last := map[*types.Named]fieldRead{}
+	// ast.Inspect visits in source order, which for straight-line
+	// encoder bodies is emission order.
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+		if !ok || id.Name == "panic" {
+			return true
+		}
+		for _, arg := range call.Args {
+			ast.Inspect(arg, func(an ast.Node) bool {
+				sel, ok := an.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				checkFieldOrder(p, sel, last)
+				return true
+			})
+		}
+		return true
+	})
+}
+
+func checkFieldOrder(p *Pass, sel *ast.SelectorExpr, last map[*types.Named]fieldRead) {
+	s := p.Pkg.Info.Selections[sel]
+	if s == nil || s.Kind() != types.FieldVal || len(s.Index()) != 1 {
+		return
+	}
+	named, ok := deref(s.Recv()).(*types.Named)
+	if !ok {
+		return
+	}
+	if _, ok := named.Underlying().(*types.Struct); !ok {
+		return
+	}
+	idx := s.Index()[0]
+	prev, seen := last[named]
+	if seen && idx < prev.index {
+		p.Reportf(sel.Sel.Pos(),
+			"%s.%s (field %d) is emitted after %s (field %d); wire encoding must follow declaration order — reorder the struct or the encoder",
+			named.Obj().Name(), sel.Sel.Name, idx, prev.name, prev.index)
+		return // keep prev as the high-water mark to avoid cascades
+	}
+	if !seen || idx > prev.index {
+		last[named] = fieldRead{index: idx, name: sel.Sel.Name}
+	}
+}

@@ -76,6 +76,7 @@ func VerifyCoalitionGrid(trueG *graph.NodeGraph, s, t int, m Mechanism, members 
 		}
 		for _, d := range options[i] {
 			decls[i] = d
+			//lint:allow floatcmp the declaration grid includes the true cost verbatim, so exact match identifies the truthful cell
 			walk(i+1, anyLie || d != trueG.Cost(members[i]))
 		}
 	}

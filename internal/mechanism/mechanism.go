@@ -191,6 +191,7 @@ func VerifyPairCollusionGrid(trueG *graph.NodeGraph, s, t int, m Mechanism, pair
 		dbsWith := append(grid(cb), cb)
 		for _, da := range dasWith {
 			for _, db := range dbsWith {
+				//lint:allow floatcmp the declaration grid includes the true costs verbatim, so exact match skips the truthful cell
 				if da == ca && db == cb {
 					continue
 				}

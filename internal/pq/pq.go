@@ -34,6 +34,7 @@ type Queue interface {
 // that every Queue implementation pops in the same deterministic
 // order, which keeps simulations reproducible across heap choices.
 func less(p1 float64, id1 int, p2 float64, id2 int) bool {
+	//lint:allow floatcmp exact tie-break keeps (priority, id) a transitive total order across heap implementations
 	if p1 != p2 {
 		return p1 < p2
 	}

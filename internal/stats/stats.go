@@ -7,6 +7,7 @@ package stats
 import (
 	"fmt"
 	"math"
+	"sort"
 )
 
 // Acc is a streaming accumulator (Welford's algorithm for variance).
@@ -124,11 +125,7 @@ func (b *Buckets) Keys() []int {
 	for k := range b.acc {
 		ks = append(ks, k)
 	}
-	for i := 1; i < len(ks); i++ { // insertion sort; tiny key sets
-		for j := i; j > 0 && ks[j] < ks[j-1]; j-- {
-			ks[j], ks[j-1] = ks[j-1], ks[j]
-		}
-	}
+	sort.Ints(ks)
 	return ks
 }
 

@@ -85,6 +85,7 @@ func (d *Deployment) KNN(k int) *graph.NodeGraph {
 		sort.Slice(nbrs, func(a, b int) bool {
 			da := d.Pos[u].Dist(d.Pos[nbrs[a]])
 			db := d.Pos[u].Dist(d.Pos[nbrs[b]])
+			//lint:allow floatcmp exact tie-break keeps the comparator a transitive total order; an epsilon here would not
 			if da != db {
 				return da < db
 			}

@@ -154,6 +154,7 @@ func (d *Deployment) LinkGraph(m CostModel) *graph.LinkGraph {
 // panics if ranges are heterogeneous — use LinkGraph for those.
 func (d *Deployment) UDG() *graph.NodeGraph {
 	for i := 1; i < d.N(); i++ {
+		//lint:allow floatcmp ranges are configured inputs compared verbatim, not arithmetic results
 		if d.Range[i] != d.Range[0] {
 			panic("wireless: UDG requires a common transmission range")
 		}
