@@ -96,6 +96,7 @@ func benchPayment(b *testing.B, side int, e core.Engine) {
 	rng := rand.New(rand.NewPCG(2, uint64(side)))
 	g := graph.Grid(side, side)
 	g.RandomizeCosts(0.5, 5, rng)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := core.UnicastQuote(g, 0, side*side-1, e); err != nil {
@@ -110,6 +111,31 @@ func BenchmarkPaymentNaive1024(b *testing.B) { benchPayment(b, 32, core.EngineNa
 func BenchmarkPaymentFast1024(b *testing.B)  { benchPayment(b, 32, core.EngineFast) }
 func BenchmarkPaymentNaive4096(b *testing.B) { benchPayment(b, 64, core.EngineNaive) }
 func BenchmarkPaymentFast4096(b *testing.B)  { benchPayment(b, 64, core.EngineFast) }
+
+// The fully amortized path: a held Solver and a recycled Quote, the
+// shape a long-lived quote server runs in. allocs/op must be 0 (the
+// same property TestSolverSteadyStateAllocs asserts).
+func benchPaymentSolver(b *testing.B, side int, e core.Engine) {
+	rng := rand.New(rand.NewPCG(2, uint64(side)))
+	g := graph.Grid(side, side)
+	g.RandomizeCosts(0.5, 5, rng)
+	sv := core.NewSolver()
+	var q core.Quote
+	if err := sv.QuoteInto(&q, g, 0, side*side-1, e); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := sv.QuoteInto(&q, g, 0, side*side-1, e); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPaymentFastSolver256(b *testing.B)  { benchPaymentSolver(b, 16, core.EngineFast) }
+func BenchmarkPaymentFastSolver1024(b *testing.B) { benchPaymentSolver(b, 32, core.EngineFast) }
+func BenchmarkPaymentFastSolver4096(b *testing.B) { benchPaymentSolver(b, 64, core.EngineFast) }
 
 // --- Ablation A3: batch all-sources engine (§III.C recurrence) vs
 // per-source quotes, the choice that makes Figure 3 tractable.
@@ -134,6 +160,21 @@ func BenchmarkAllSourcesPerSource(b *testing.B) {
 			if _, err := core.UnicastQuote(g, s, 0, core.EngineFast); err != nil {
 				b.Fatal(err)
 			}
+		}
+	}
+}
+
+// BenchmarkAllSourcesParallel is the per-source engine fanned across
+// GOMAXPROCS workers on the pooled solver — same work as
+// BenchmarkAllSourcesPerSource, reorganized.
+func BenchmarkAllSourcesParallel(b *testing.B) {
+	rng := rand.New(rand.NewPCG(3, 0))
+	g := graph.RandomBiconnected(512, 6.0/512, rng)
+	g.RandomizeCosts(0.5, 5, rng)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.AllUnicastQuotesParallel(g, 0, core.EngineFast); err != nil {
+			b.Fatal(err)
 		}
 	}
 }

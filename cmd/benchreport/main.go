@@ -1,0 +1,20 @@
+// Command benchreport runs the repository's payment, Dijkstra and
+// protocol benchmarks under -benchmem and records ns/op, B/op and
+// allocs/op as JSON (BENCH_payments.json by default) — the artifact
+// verify.sh regenerates so allocation regressions show up as diffs.
+//
+// Usage:
+//
+//	benchreport [-out BENCH_payments.json] [-bench REGEXP] [-benchtime 1s] [-count 1] [-pkg .]
+//	go test -bench . -benchmem | benchreport -input - -out -
+package main
+
+import (
+	"os"
+
+	"truthroute/internal/cli"
+)
+
+func main() {
+	os.Exit(cli.RunBenchReport(os.Args[1:], os.Stdout, os.Stderr))
+}

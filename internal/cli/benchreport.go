@@ -1,0 +1,194 @@
+package cli
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"strconv"
+	"strings"
+)
+
+// BenchResult is one benchmark line of `go test -bench -benchmem`
+// output, normalized: the -<GOMAXPROCS> suffix is stripped from the
+// name and the three standard metrics are kept. Allocation metrics
+// are -1 when the run did not report them.
+type BenchResult struct {
+	Name        string  `json:"name"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// BenchReport is the BENCH_payments.json schema: the environment
+// lines go test prints plus every benchmark in input order. No
+// timestamps — two runs on the same machine with the same timings
+// diff cleanly.
+type BenchReport struct {
+	Go         string        `json:"go,omitempty"`
+	OS         string        `json:"goos,omitempty"`
+	Arch       string        `json:"goarch,omitempty"`
+	CPU        string        `json:"cpu,omitempty"`
+	Package    string        `json:"pkg,omitempty"`
+	Benchmarks []BenchResult `json:"benchmarks"`
+}
+
+// RunBenchReport runs the payment/Dijkstra/protocol benchmark suite
+// under -benchmem and writes the parsed results as JSON — the harness
+// verify.sh uses to record before/after allocation numbers. With
+// -input it parses an existing `go test -bench` transcript (a file,
+// or "-" for stdin) instead of spawning the toolchain.
+func RunBenchReport(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("benchreport", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	out := fs.String("out", "BENCH_payments.json", "output JSON file, or - for stdout")
+	bench := fs.String("bench", "BenchmarkPayment|BenchmarkDijkstra|BenchmarkReplacement|BenchmarkAllSources|BenchmarkDistributedProtocol",
+		"benchmark selection regexp passed to go test -bench")
+	benchtime := fs.String("benchtime", "1s", "per-benchmark time or iteration budget (go test -benchtime)")
+	count := fs.Int("count", 1, "repetitions per benchmark (go test -count)")
+	pkg := fs.String("pkg", ".", "package pattern to benchmark")
+	input := fs.String("input", "", "parse this go-test transcript instead of running benchmarks (- for stdin)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	var transcript io.Reader
+	switch {
+	case *input == "-":
+		transcript = os.Stdin
+	case *input != "":
+		f, err := os.Open(*input)
+		if err != nil {
+			fmt.Fprintln(stderr, "benchreport:", err)
+			return 1
+		}
+		//lint:allow errcheck file is opened read-only; Close cannot lose buffered data
+		defer f.Close()
+		transcript = f
+	default:
+		cmd := exec.Command("go", "test", "-run", "^$",
+			"-bench", *bench, "-benchmem",
+			"-benchtime", *benchtime, "-count", strconv.Itoa(*count), *pkg)
+		cmd.Stderr = stderr
+		raw, err := cmd.Output()
+		if err != nil {
+			fmt.Fprintln(stderr, "benchreport: go test:", err)
+			return 1
+		}
+		transcript = strings.NewReader(string(raw))
+	}
+
+	report, err := ParseBenchOutput(transcript)
+	if err != nil {
+		fmt.Fprintln(stderr, "benchreport:", err)
+		return 1
+	}
+	report.Package = *pkg
+	if *input != "" {
+		report.Package = "" // unknown: the transcript's pkg line wins
+	}
+
+	blob, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		fmt.Fprintln(stderr, "benchreport:", err)
+		return 1
+	}
+	blob = append(blob, '\n')
+	if *out == "-" {
+		if _, err := stdout.Write(blob); err != nil {
+			fmt.Fprintln(stderr, "benchreport:", err)
+			return 1
+		}
+		return 0
+	}
+	if err := os.WriteFile(*out, blob, 0o644); err != nil {
+		fmt.Fprintln(stderr, "benchreport:", err)
+		return 1
+	}
+	fmt.Fprintf(stdout, "benchreport: wrote %d benchmarks to %s\n", len(report.Benchmarks), *out)
+	return 0
+}
+
+// ParseBenchOutput parses `go test -bench` text output. Benchmark
+// lines look like
+//
+//	BenchmarkPaymentFast256-4  46557  54688 ns/op  1560 B/op  6 allocs/op
+//
+// with the B/op and allocs/op columns present only under -benchmem.
+// Lines that are not benchmark results (goos/pkg headers, PASS/ok
+// trailers) populate the report header or are skipped.
+func ParseBenchOutput(r io.Reader) (*BenchReport, error) {
+	report := &BenchReport{Benchmarks: []BenchResult{}}
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		for _, hdr := range []struct {
+			prefix string
+			dst    *string
+		}{
+			{"goos: ", &report.OS},
+			{"goarch: ", &report.Arch},
+			{"pkg: ", &report.Package},
+			{"cpu: ", &report.CPU},
+			{"go: ", &report.Go},
+		} {
+			if strings.HasPrefix(line, hdr.prefix) {
+				*hdr.dst = strings.TrimPrefix(line, hdr.prefix)
+			}
+		}
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		res, ok, err := parseBenchLine(line)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			report.Benchmarks = append(report.Benchmarks, res)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("reading bench output: %w", err)
+	}
+	return report, nil
+}
+
+func parseBenchLine(line string) (BenchResult, bool, error) {
+	f := strings.Fields(line)
+	// Shortest valid line: name, iterations, value, "ns/op".
+	if len(f) < 4 || f[3] != "ns/op" {
+		return BenchResult{}, false, nil
+	}
+	name := f[0]
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i] // strip the -GOMAXPROCS suffix
+		}
+	}
+	iters, err := strconv.ParseInt(f[1], 10, 64)
+	if err != nil {
+		return BenchResult{}, false, fmt.Errorf("bad iteration count in %q: %v", line, err)
+	}
+	ns, err := strconv.ParseFloat(f[2], 64)
+	if err != nil {
+		return BenchResult{}, false, fmt.Errorf("bad ns/op in %q: %v", line, err)
+	}
+	res := BenchResult{Name: name, Iterations: iters, NsPerOp: ns, BytesPerOp: -1, AllocsPerOp: -1}
+	for i := 4; i+1 < len(f); i += 2 {
+		v, err := strconv.ParseInt(f[i], 10, 64)
+		if err != nil {
+			return BenchResult{}, false, fmt.Errorf("bad metric value in %q: %v", line, err)
+		}
+		switch f[i+1] {
+		case "B/op":
+			res.BytesPerOp = v
+		case "allocs/op":
+			res.AllocsPerOp = v
+		}
+	}
+	return res, true, nil
+}

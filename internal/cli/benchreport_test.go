@@ -1,0 +1,140 @@
+package cli
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+const sampleBenchOutput = `goos: linux
+goarch: amd64
+pkg: truthroute
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkPaymentFast256-4   	   46557	     54688 ns/op	    1560 B/op	       6 allocs/op
+BenchmarkPaymentFastSolver256-4	   42672	     59989 ns/op	       0 B/op	       0 allocs/op
+BenchmarkDijkstraBinaryHeap 	    5304	    439804.5 ns/op
+PASS
+ok  	truthroute	29.449s
+`
+
+func TestParseBenchOutput(t *testing.T) {
+	report, err := ParseBenchOutput(strings.NewReader(sampleBenchOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.OS != "linux" || report.Arch != "amd64" || report.Package != "truthroute" {
+		t.Errorf("header mismatch: %+v", report)
+	}
+	want := []BenchResult{
+		{Name: "BenchmarkPaymentFast256", Iterations: 46557, NsPerOp: 54688, BytesPerOp: 1560, AllocsPerOp: 6},
+		{Name: "BenchmarkPaymentFastSolver256", Iterations: 42672, NsPerOp: 59989, BytesPerOp: 0, AllocsPerOp: 0},
+		{Name: "BenchmarkDijkstraBinaryHeap", Iterations: 5304, NsPerOp: 439804.5, BytesPerOp: -1, AllocsPerOp: -1},
+	}
+	if !reflect.DeepEqual(report.Benchmarks, want) {
+		t.Errorf("parsed benchmarks:\n%+v\nwant:\n%+v", report.Benchmarks, want)
+	}
+}
+
+func TestParseBenchOutputRejectsGarbage(t *testing.T) {
+	if _, err := ParseBenchOutput(strings.NewReader("BenchmarkX-4 notanumber 12 ns/op")); err == nil {
+		t.Error("bad iteration count accepted")
+	}
+	if _, err := ParseBenchOutput(strings.NewReader("BenchmarkX-4 12 nan.0.2 ns/op")); err == nil {
+		t.Error("bad ns/op accepted")
+	}
+	// A Benchmark line without metrics (e.g. the bare name go test
+	// prints under -v) is skipped, not an error.
+	report, err := ParseBenchOutput(strings.NewReader("BenchmarkX\n"))
+	if err != nil || len(report.Benchmarks) != 0 {
+		t.Errorf("bare name line: report %+v, err %v", report, err)
+	}
+}
+
+// TestRunBenchReportFromTranscript drives the CLI end to end in
+// -input mode: transcript in, JSON artifact out.
+func TestRunBenchReportFromTranscript(t *testing.T) {
+	dir := t.TempDir()
+	in := filepath.Join(dir, "bench.txt")
+	if err := os.WriteFile(in, []byte(sampleBenchOutput), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out := filepath.Join(dir, "report.json")
+	var stdout, stderr bytes.Buffer
+	if code := RunBenchReport([]string{"-input", in, "-out", out}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr.String())
+	}
+	blob, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var report BenchReport
+	if err := json.Unmarshal(blob, &report); err != nil {
+		t.Fatalf("artifact is not JSON: %v", err)
+	}
+	if len(report.Benchmarks) != 3 || report.Benchmarks[0].Name != "BenchmarkPaymentFast256" {
+		t.Errorf("artifact content: %+v", report)
+	}
+}
+
+func TestRunBenchReportStdout(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	dir := t.TempDir()
+	in := filepath.Join(dir, "bench.txt")
+	if err := os.WriteFile(in, []byte(sampleBenchOutput), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if code := RunBenchReport([]string{"-input", in, "-out", "-"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr.String())
+	}
+	if !json.Valid(stdout.Bytes()) {
+		t.Errorf("stdout is not JSON: %s", stdout.String())
+	}
+}
+
+func TestRunBenchReportMissingInput(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := RunBenchReport([]string{"-input", "/nonexistent/bench.txt"}, &stdout, &stderr); code != 1 {
+		t.Errorf("missing input: exit %d, want 1", code)
+	}
+}
+
+func TestRunBenchReportBadFlag(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := RunBenchReport([]string{"-nope"}, &out, &errOut); code != 2 {
+		t.Errorf("unknown flag: exit %d, want 2", code)
+	}
+}
+
+func TestRunBenchReportUnwritableOut(t *testing.T) {
+	in := filepath.Join(t.TempDir(), "bench.txt")
+	if err := os.WriteFile(in, []byte(sampleBenchOutput), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out, errOut strings.Builder
+	code := RunBenchReport([]string{"-input", in,
+		"-out", filepath.Join(t.TempDir(), "no", "such", "dir", "b.json")}, &out, &errOut)
+	if code != 1 {
+		t.Errorf("unwritable -out: exit %d, want 1", code)
+	}
+	if !strings.Contains(errOut.String(), "benchreport:") {
+		t.Errorf("stderr lacks error prefix: %q", errOut.String())
+	}
+}
+
+// TestRunBenchReportExecFailure drives the go-test subprocess branch
+// with a package pattern that cannot resolve, so the command fails
+// fast without compiling any benchmarks.
+func TestRunBenchReportExecFailure(t *testing.T) {
+	var out, errOut strings.Builder
+	code := RunBenchReport([]string{"-pkg", "./does/not/exist", "-benchtime", "1x"}, &out, &errOut)
+	if code != 1 {
+		t.Errorf("bad -pkg: exit %d, want 1", code)
+	}
+	if !strings.Contains(errOut.String(), "go test") {
+		t.Errorf("stderr lacks subprocess error: %q", errOut.String())
+	}
+}

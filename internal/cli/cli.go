@@ -32,9 +32,17 @@ func RunUnicastSim(args []string, stdout, stderr io.Writer) int {
 	full := fs.Bool("full", false, "use the paper's full parameters (slow)")
 	seed := fs.Uint64("seed", 2004, "random seed (runs are reproducible per seed)")
 	asCSV := fs.Bool("csv", false, "emit CSV instead of aligned tables")
+	cpuProf := fs.String("cpuprofile", "", "write a CPU profile to this file")
+	memProf := fs.String("memprofile", "", "write a heap profile to this file on exit")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
+	stopProf, err := startProfiles(*cpuProf, *memProf, stderr)
+	if err != nil {
+		fmt.Fprintln(stderr, "unicast-sim:", err)
+		return 1
+	}
+	defer stopProf()
 	ids := experiment.FigureIDs()
 	if *figure != "all" {
 		ids = []string{*figure}
@@ -80,9 +88,17 @@ func RunPaytool(args []string, stdout, stderr io.Writer) int {
 	scheme := fs.String("scheme", "vcg", "payment scheme: vcg or neighborhood")
 	engine := fs.String("engine", "fast", "replacement-path engine: fast or naive")
 	asJSON := fs.Bool("json", false, "emit the quote as JSON")
+	cpuProf := fs.String("cpuprofile", "", "write a CPU profile to this file")
+	memProf := fs.String("memprofile", "", "write a heap profile to this file on exit")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
+	stopProf, perr := startProfiles(*cpuProf, *memProf, stderr)
+	if perr != nil {
+		fmt.Fprintln(stderr, "paytool:", perr)
+		return 1
+	}
+	defer stopProf()
 	set := 0
 	for _, p := range []string{*nodePath, *linkPath, *edgePath} {
 		if p != "" {

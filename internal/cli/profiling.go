@@ -1,0 +1,52 @@
+package cli
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// startProfiles turns on CPU profiling and/or arranges a heap profile
+// dump, as requested by the -cpuprofile/-memprofile flags. The
+// returned stop function must run exactly once, after the profiled
+// work; it finishes both profiles and reports any write failure on
+// stderr (it cannot return an error — it runs deferred on every exit
+// path of the Run* functions).
+func startProfiles(cpuPath, memPath string, stderr io.Writer) (stop func(), err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("creating -cpuprofile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			//lint:allow errcheck the create error above is the one worth reporting; Close on the unused file cannot lose data
+			cpuFile.Close()
+			return nil, fmt.Errorf("starting CPU profile: %w", err)
+		}
+	}
+	return func() {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				fmt.Fprintln(stderr, "closing -cpuprofile:", err)
+			}
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				fmt.Fprintln(stderr, "creating -memprofile:", err)
+				return
+			}
+			runtime.GC() // flush garbage so the profile shows live heap
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(stderr, "writing -memprofile:", err)
+			}
+			if err := f.Close(); err != nil {
+				fmt.Fprintln(stderr, "closing -memprofile:", err)
+			}
+		}
+	}, nil
+}

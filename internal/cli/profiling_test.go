@@ -1,0 +1,119 @@
+package cli
+
+import (
+	"os"
+	"path/filepath"
+	"runtime/pprof"
+	"strings"
+	"testing"
+
+	"truthroute/internal/graph"
+)
+
+// TestPaytoolProfiles runs paytool with both profile flags and checks
+// the pprof artifacts land on disk non-empty.
+func TestPaytoolProfiles(t *testing.T) {
+	gpath := writeGraphFile(t, graph.Figure2())
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.pprof")
+	mem := filepath.Join(dir, "mem.pprof")
+	var out, errOut strings.Builder
+	code := RunPaytool([]string{"-graph", gpath, "-source", "1",
+		"-cpuprofile", cpu, "-memprofile", mem}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut.String())
+	}
+	for _, p := range []string{cpu, mem} {
+		st, err := os.Stat(p)
+		if err != nil {
+			t.Fatalf("profile %s missing: %v", p, err)
+		}
+		if st.Size() == 0 {
+			t.Errorf("profile %s is empty", p)
+		}
+	}
+}
+
+func TestPaytoolProfileBadPath(t *testing.T) {
+	gpath := writeGraphFile(t, graph.Figure2())
+	var out, errOut strings.Builder
+	code := RunPaytool([]string{"-graph", gpath, "-source", "1",
+		"-cpuprofile", filepath.Join(t.TempDir(), "no", "such", "dir", "cpu.pprof")}, &out, &errOut)
+	if code != 1 {
+		t.Errorf("unwritable -cpuprofile: exit %d, want 1", code)
+	}
+	if !strings.Contains(errOut.String(), "cpuprofile") {
+		t.Errorf("stderr lacks the failing flag: %q", errOut.String())
+	}
+}
+
+// TestUnicastSimProfiles exercises the same flags on the simulator
+// (smallest panel, smoke parameters).
+func TestUnicastSimProfiles(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.pprof")
+	mem := filepath.Join(dir, "mem.pprof")
+	var out, errOut strings.Builder
+	code := RunUnicastSim([]string{"-figure", "3a", "-csv",
+		"-cpuprofile", cpu, "-memprofile", mem}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut.String())
+	}
+	for _, p := range []string{cpu, mem} {
+		if st, err := os.Stat(p); err != nil || st.Size() == 0 {
+			t.Errorf("profile %s missing or empty (err %v)", p, err)
+		}
+	}
+}
+
+// TestPaytoolMemProfileOnly covers the stop-time half of the profiler
+// on its own (no CPU profile started), including the error path for
+// an unwritable -memprofile, which is reported but not fatal.
+func TestPaytoolMemProfileOnly(t *testing.T) {
+	gpath := writeGraphFile(t, graph.Figure2())
+	mem := filepath.Join(t.TempDir(), "mem.pprof")
+	var out, errOut strings.Builder
+	if code := RunPaytool([]string{"-graph", gpath, "-source", "1",
+		"-memprofile", mem}, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut.String())
+	}
+	if st, err := os.Stat(mem); err != nil || st.Size() == 0 {
+		t.Fatalf("mem profile missing or empty (err %v)", err)
+	}
+
+	out.Reset()
+	errOut.Reset()
+	bad := filepath.Join(t.TempDir(), "no", "such", "dir", "mem.pprof")
+	if code := RunPaytool([]string{"-graph", gpath, "-source", "1",
+		"-memprofile", bad}, &out, &errOut); code != 0 {
+		t.Fatalf("bad -memprofile should not be fatal, exit %d", code)
+	}
+	if !strings.Contains(errOut.String(), "memprofile") {
+		t.Errorf("stderr lacks memprofile error: %q", errOut.String())
+	}
+}
+
+// TestPaytoolCPUProfileConflict covers startProfiles' failure branch
+// when a CPU profile is already running in the process.
+func TestPaytoolCPUProfileConflict(t *testing.T) {
+	hold, err := os.CreateTemp(t.TempDir(), "hold.pprof")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hold.Close()
+	if err := pprof.StartCPUProfile(hold); err != nil {
+		t.Skipf("cannot start ambient CPU profile: %v", err)
+	}
+	defer pprof.StopCPUProfile()
+
+	gpath := writeGraphFile(t, graph.Figure2())
+	var out, errOut strings.Builder
+	code := RunPaytool([]string{"-graph", gpath, "-source", "1",
+		"-cpuprofile", filepath.Join(t.TempDir(), "cpu.pprof")}, &out, &errOut)
+	if code != 1 {
+		t.Errorf("nested CPU profile: exit %d, want 1", code)
+	}
+	if !strings.Contains(errOut.String(), "CPU profile") {
+		t.Errorf("stderr lacks CPU profile error: %q", errOut.String())
+	}
+}

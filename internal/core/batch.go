@@ -29,30 +29,31 @@ func AllUnicastQuotes(g *graph.NodeGraph, dest int) []*Quote {
 	n := g.N()
 	tree := sp.NodeDijkstra(g, dest, nil) // undirected: dist to dest
 	paths := make([][]int, n)             // P(i,0), source first
-	interiors := make([]map[int]bool, n)
+	relays := make([][]int, n)            // interior of P(i,0); paths are
+	// short (≤ diameter), so membership is a linear scan instead of a
+	// per-source map.
 	for i := 0; i < n; i++ {
 		if i == dest || !tree.Reachable(i) {
 			continue
 		}
-		p := tree.PathTo(i)
-		// PathTo runs dest→i; reverse to source-first.
+		// The tree runs dest→i; PathInto fills an exactly-sized buffer
+		// in one pass (no append-growing), then one in-place reversal
+		// makes it source-first.
+		p := tree.PathInto(i, nil)
 		for a, b := 0, len(p)-1; a < b; a, b = a+1, b-1 {
 			p[a], p[b] = p[b], p[a]
 		}
 		paths[i] = p
-		interiors[i] = make(map[int]bool, len(p))
-		for _, k := range p[1 : len(p)-1] {
-			interiors[i][k] = true
-		}
+		relays[i] = p[1 : len(p)-1]
 	}
 	// pay[i][k], initialized +Inf.
 	pay := make([]map[int]float64, n)
 	for i := 0; i < n; i++ {
-		if paths[i] == nil || len(paths[i]) <= 2 {
+		if len(relays[i]) == 0 {
 			continue
 		}
-		pay[i] = make(map[int]float64, len(paths[i])-2)
-		for k := range interiors[i] {
+		pay[i] = make(map[int]float64, len(relays[i]))
+		for _, k := range relays[i] {
 			pay[i][k] = math.Inf(1)
 		}
 	}
@@ -76,7 +77,7 @@ func AllUnicastQuotes(g *graph.NodeGraph, dest int) []*Quote {
 					}
 					base := cost(j) + tree.Dist[j] - di
 					var cand float64
-					if j != dest && interiors[j][k] {
+					if j != dest && onRelayList(relays[j], k) {
 						pjk := pay[j][k]
 						if math.IsInf(pjk, 1) {
 							continue
@@ -121,28 +122,25 @@ func AllLinkQuotes(g *graph.LinkGraph, dest int) []*Quote {
 	n := g.N()
 	tree := sp.LinkDijkstra(g, dest, nil, true) // distances *to* dest
 	paths := make([][]int, n)
-	interiors := make([]map[int]bool, n)
+	relays := make([][]int, n)
 	for i := 0; i < n; i++ {
 		if i == dest || !tree.Reachable(i) {
 			continue
 		}
-		p := tree.PathTo(i)
+		p := tree.PathInto(i, nil) // dest-first; reversed below
 		for a, b := 0, len(p)-1; a < b; a, b = a+1, b-1 {
 			p[a], p[b] = p[b], p[a]
 		}
 		paths[i] = p
-		interiors[i] = make(map[int]bool, len(p))
-		for _, k := range p[1 : len(p)-1] {
-			interiors[i][k] = true
-		}
+		relays[i] = p[1 : len(p)-1]
 	}
 	avoid := make([]map[int]float64, n) // A_i^k
 	for i := 0; i < n; i++ {
-		if paths[i] == nil || len(paths[i]) <= 2 {
+		if len(relays[i]) == 0 {
 			continue
 		}
-		avoid[i] = make(map[int]float64, len(paths[i])-2)
-		for k := range interiors[i] {
+		avoid[i] = make(map[int]float64, len(relays[i]))
+		for _, k := range relays[i] {
 			avoid[i][k] = math.Inf(1)
 		}
 	}
@@ -163,7 +161,7 @@ func AllLinkQuotes(g *graph.LinkGraph, dest int) []*Quote {
 						tail = 0
 					} else if !tree.Reachable(j) {
 						continue
-					} else if interiors[j][k] {
+					} else if onRelayList(relays[j], k) {
 						tail = avoid[j][k]
 						if math.IsInf(tail, 1) {
 							continue
@@ -193,4 +191,17 @@ func AllLinkQuotes(g *graph.LinkGraph, dest int) []*Quote {
 		out[i] = q
 	}
 	return out
+}
+
+// onRelayList reports whether k is an interior node of the path whose
+// relay slice is rs. Shortest paths are at most diameter long, so a
+// linear scan beats a per-source hash map in both time and (zero)
+// allocations.
+func onRelayList(rs []int, k int) bool {
+	for _, r := range rs {
+		if r == k {
+			return true
+		}
+	}
+	return false
 }

@@ -1,18 +1,20 @@
 package core
 
 import (
+	"cmp"
 	"math"
-	"sort"
+	"slices"
 
 	"truthroute/internal/graph"
 	"truthroute/internal/sp"
 )
 
-// replacementCostsFast is the paper's Algorithm 1 (§III.B): it
-// computes ||P_-vk(s,t,d)|| for every interior node v_k of the least
-// cost path in O((n+m) log n) total, instead of one Dijkstra per
-// relay. It adapts Hershberger–Suri replacement paths to
-// node-weighted graphs via "levels" on the shortest path tree.
+// fastReplacement is the paper's Algorithm 1 (§III.B): it computes
+// ||P_-vk(s,t,d)|| for every interior node v_k of the least cost path
+// in O((n+m) log n) total, instead of one Dijkstra per relay, writing
+// the results into w.repl (indexed by node id). It adapts
+// Hershberger–Suri replacement paths to node-weighted graphs via
+// "levels" on the shortest path tree.
 //
 // Sketch (notation follows the paper):
 //
@@ -36,35 +38,42 @@ import (
 // strict-inequality arguments (standard unique-shortest-path
 // assumption); fast_test.go property-tests it against the naive
 // engine.
-func replacementCostsFast(g *graph.NodeGraph, s, t int, treeS *sp.Tree) map[int]float64 {
-	path := treeS.PathTo(t)
+//
+// All scratch lives in the solverSpace: per-query validity of pos and
+// level is scoped to treeS.Order (only reachable nodes are ever
+// read), node-set membership uses generation-stamped marks, and the
+// bushes are bucketed with a counting sort into one flat array — so
+// the warmed steady state allocates nothing.
+func (w *solverSpace) fastReplacement(g *graph.NodeGraph, s, t int, treeS *sp.Tree, path []int) {
 	if len(path) <= 2 {
-		return map[int]float64{}
+		return
 	}
 	sigma := len(path) - 1 // t = r_sigma
 	n := g.N()
+	csr := g.CSR()
 
-	treeT := sp.NodeDijkstra(g, t, nil)
+	treeT := w.wsT.NodeDijkstra(g, t, nil)
 	L := treeS.Dist // L(v): interior cost s→v, endpoints excluded
 	R := treeT.Dist // R(v): interior cost v→t, endpoints excluded
 
-	// pos[v] = index on the path, or -1.
-	pos := make([]int, n)
-	for i := range pos {
-		pos[i] = -1
+	// pos[v] = index on the path, or -1. Stale entries from earlier
+	// queries are harmless: pos is only read for nodes in treeS.Order,
+	// all reset here.
+	pos := w.pos
+	for _, v := range treeS.Order {
+		pos[v] = -1
 	}
 	for i, v := range path {
-		pos[v] = i
+		pos[v] = int32(i)
 	}
 
-	// level(v): last path node index on the SPT(s) root path to v.
-	// Parents settle before children in Dijkstra order, so one pass
-	// over the settle order suffices. Unreachable nodes keep -1 and
-	// never participate.
-	level := make([]int, n)
-	for i := range level {
-		level[i] = -1
-	}
+	// level(v): last path node index on the SPT(s) root path to v,
+	// valid iff levelSet.Has(v). Parents settle before children in
+	// Dijkstra order, so one pass over the settle order suffices;
+	// unreachable nodes are never marked and never participate.
+	level := w.level
+	levelSet := w.levelSet
+	levelSet.Clear()
 	for _, v := range treeS.Order {
 		if pos[v] >= 0 {
 			level[v] = pos[v]
@@ -73,6 +82,7 @@ func replacementCostsFast(g *graph.NodeGraph, s, t int, treeS *sp.Tree) map[int]
 		} else { // v == s handled by pos; other roots unreachable
 			level[v] = 0
 		}
+		levelSet.Set(v)
 	}
 
 	// prefixCost(a) = cost of reaching a from s and then relaying
@@ -92,34 +102,55 @@ func replacementCostsFast(g *graph.NodeGraph, s, t int, treeS *sp.Tree) map[int]
 		return g.Cost(b) + R[b]
 	}
 
+	// Bucket the bushes with a counting sort over ascending node id
+	// (the order the allocating implementation appended in), so bush l
+	// is the slice bushNodes[bushStart[l]:bushStart[l+1]].
+	for l := 0; l <= sigma; l++ {
+		w.bushCount[l] = 0
+	}
+	for v := 0; v < n; v++ {
+		if levelSet.Has(v) && pos[v] < 0 {
+			w.bushCount[level[v]]++
+		}
+	}
+	w.bushStart[0] = 0
+	for l := 0; l <= sigma; l++ {
+		w.bushStart[l+1] = w.bushStart[l] + w.bushCount[l]
+		w.bushCount[l] = w.bushStart[l] // reuse as the write cursor
+	}
+	for v := 0; v < n; v++ {
+		if levelSet.Has(v) && pos[v] < 0 {
+			l := level[v]
+			w.bushNodes[w.bushCount[l]] = int32(v)
+			w.bushCount[l]++
+		}
+	}
+
 	// --- Step 3: R^{-l}(b) for every bush node b (level(b) = l,
 	// b ≠ r_l): distance from b to t in G∖r_l, never descending to
 	// levels < l. Computed bush by bush with a boundary-initialized
 	// Dijkstra; each node and edge is touched O(1) times overall.
-	bush := make([][]int, sigma+1)
-	for v := 0; v < n; v++ {
-		if l := level[v]; l >= 0 && pos[v] < 0 {
-			bush[l] = append(bush[l], v)
-		}
-	}
-	rAvoid := make([]float64, n) // R^{-level(v)}(v) for bush nodes
-	for i := range rAvoid {
-		rAvoid[i] = math.Inf(1)
-	}
+	// Every bush member's rAvoid entry is written during boundary
+	// initialization before any read, so no O(n) +Inf refill is
+	// needed between queries.
+	rAvoid := w.rAvoid
 	for l := 1; l < sigma; l++ {
-		members := bush[l]
+		members := w.bushNodes[w.bushStart[l]:w.bushStart[l+1]]
 		if len(members) == 0 {
 			continue
 		}
 		rl := path[l]
-		q := sp.NewQueue(n)
-		for _, b := range members {
+		q := w.bushQ
+		q.Reset()
+		for _, b32 := range members {
+			b := int(b32)
 			best := math.Inf(1)
-			for _, x := range g.Neighbors(b) {
-				if x == rl || level[x] < 0 {
+			for _, x32 := range csr.Neighbors(b) {
+				x := int(x32)
+				if x == rl || !levelSet.Has(x) {
 					continue
 				}
-				if level[x] > l { // exit to the high region
+				if int(level[x]) > l { // exit to the high region
 					if c := suffixCost(x); c < best {
 						best = c
 					}
@@ -130,21 +161,22 @@ func replacementCostsFast(g *graph.NodeGraph, s, t int, treeS *sp.Tree) map[int]
 				q.Push(b, best)
 			}
 		}
-		inBush := make(map[int]bool, len(members))
+		w.inBush.Clear()
 		for _, b := range members {
-			inBush[b] = true
+			w.inBush.Set(int(b))
 		}
-		done := make(map[int]bool, len(members))
+		w.done.Clear()
 		for q.Len() > 0 {
 			x, dx := q.Pop()
-			if done[x] {
+			if w.done.Has(x) {
 				continue
 			}
-			done[x] = true
+			w.done.Set(x)
 			rAvoid[x] = dx
 			// Travelling from neighbour b through x costs c_x extra.
-			for _, b := range g.Neighbors(x) {
-				if !inBush[b] || done[b] {
+			for _, b32 := range csr.Neighbors(x) {
+				b := int(b32)
+				if !w.inBush.Has(b) || w.done.Has(b) {
 					continue
 				}
 				nd := dx + g.Cost(x)
@@ -163,18 +195,20 @@ func replacementCostsFast(g *graph.NodeGraph, s, t int, treeS *sp.Tree) map[int]
 	// --- Step 4: c^{-l} = best candidate whose crossing edge lands
 	// in bush l itself: min over edges (a,b), level(a) < l = level(b)
 	// of prefixCost(a) + c_b + R^{-l}(b).
-	cAvoid := make([]float64, sigma) // indexed by l; [0] unused
+	cAvoid := w.cAvoid[:sigma] // indexed by l; [0] unused
 	for i := range cAvoid {
 		cAvoid[i] = math.Inf(1)
 	}
 	for l := 1; l < sigma; l++ {
-		for _, b := range bush[l] {
+		for _, b32 := range w.bushNodes[w.bushStart[l]:w.bushStart[l+1]] {
+			b := int(b32)
 			if math.IsInf(rAvoid[b], 1) {
 				continue
 			}
 			enter := g.Cost(b) + rAvoid[b]
-			for _, a := range g.Neighbors(b) {
-				if level[a] < 0 || level[a] >= l {
+			for _, a32 := range csr.Neighbors(b) {
+				a := int(a32)
+				if !levelSet.Has(a) || int(level[a]) >= l {
 					continue
 				}
 				if cand := prefixCost(a) + enter; cand < cAvoid[l] {
@@ -188,14 +222,17 @@ func replacementCostsFast(g *graph.NodeGraph, s, t int, treeS *sp.Tree) map[int]
 	// the bush: edges (a,b) with level(a) < l < level(b), keyed by
 	// prefixCost(a) + suffixCost(b), valid for l in
 	// (level(a), level(b)). Sweep l upward with a lazily-expired
-	// min-heap.
-	var edges []crossEdge
+	// min-heap. Equal-key ties may sit in the heap in any order
+	// without affecting the swept minima, so the unstable sort is
+	// safe.
+	edges := w.edges[:0]
 	for u := 0; u < n; u++ {
-		if level[u] < 0 {
+		if !levelSet.Has(u) {
 			continue
 		}
-		for _, v := range g.Neighbors(u) {
-			if v < u || level[v] < 0 || level[u] == level[v] {
+		for _, v32 := range csr.Neighbors(u) {
+			v := int(v32)
+			if v < u || !levelSet.Has(v) || level[u] == level[v] {
 				continue
 			}
 			a, b := u, v
@@ -207,31 +244,50 @@ func replacementCostsFast(g *graph.NodeGraph, s, t int, treeS *sp.Tree) map[int]
 			}
 			edges = append(edges, crossEdge{
 				key: prefixCost(a) + suffixCost(b),
-				lo:  level[a], hi: level[b],
+				lo:  int(level[a]), hi: int(level[b]),
 			})
 		}
 	}
-	sort.Slice(edges, func(i, j int) bool { return edges[i].lo < edges[j].lo })
+	w.edges = edges
+	slices.SortFunc(edges, func(x, y crossEdge) int { return cmp.Compare(x.lo, y.lo) })
 
-	out := make(map[int]float64, sigma-1)
-	heap := crossHeap{}
+	h := &w.heap
+	h.a = h.a[:0]
 	next := 0
 	for l := 1; l < sigma; l++ {
 		for next < len(edges) && edges[next].lo < l {
-			heap.push(edges[next])
+			h.push(edges[next])
 			next++
 		}
-		for heap.len() > 0 && heap.min().hi <= l {
-			heap.pop()
+		for h.len() > 0 && h.min().hi <= l {
+			h.pop()
 		}
 		best := cAvoid[l]
-		if heap.len() > 0 && heap.min().key < best {
-			best = heap.min().key
+		if h.len() > 0 && h.min().key < best {
+			best = h.min().key
 		}
-		out[path[l]] = best
+		w.repl[path[l]] = best
+	}
+}
+
+// replacementCostsFast runs the fast engine on a pooled workspace and
+// returns the replacement costs as a map keyed by relay id — the
+// allocating form the property and soak tests cross-check against the
+// naive engine. Steady-state callers go through Solver.QuoteInto,
+// which reads the dense w.repl array directly.
+func replacementCostsFast(g *graph.NodeGraph, s, t int, treeS *sp.Tree) map[int]float64 {
+	path := treeS.PathTo(t)
+	if len(path) <= 2 {
+		return map[int]float64{}
+	}
+	w := defaultSolver.acquire(g.N())
+	defer defaultSolver.release(w)
+	w.fastReplacement(g, s, t, treeS, path)
+	out := make(map[int]float64, len(path)-2)
+	for i := 1; i+1 < len(path); i++ {
+		out[path[i]] = w.repl[path[i]]
 	}
 	return out
-
 }
 
 // crossEdge is a non-tree edge jumping from the {level < l} region to

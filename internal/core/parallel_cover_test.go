@@ -1,0 +1,53 @@
+package core
+
+import (
+	"math/rand/v2"
+	"reflect"
+	"runtime"
+	"strings"
+	"testing"
+
+	"truthroute/internal/graph"
+)
+
+// TestAllQuotesForcedParallel pins the multi-worker branch of
+// Solver.AllQuotes even on single-CPU machines, where GOMAXPROCS(0)
+// would otherwise route everything through the sequential fallback.
+func TestAllQuotesForcedParallel(t *testing.T) {
+	prev := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(prev)
+
+	g := graph.RandomBiconnected(60, 0.12, rand.New(rand.NewPCG(77, 0)))
+	for _, engine := range []Engine{EngineFast, EngineNaive} {
+		got, err := NewSolver().AllQuotes(g, 0, engine)
+		if err != nil {
+			t.Fatalf("AllQuotes(engine=%d): %v", engine, err)
+		}
+		for s := 1; s < g.N(); s++ {
+			want, err := UnicastQuote(g, s, 0, engine)
+			if err != nil {
+				t.Fatalf("UnicastQuote(%d): %v", s, err)
+			}
+			if !reflect.DeepEqual(got[s], want) {
+				t.Fatalf("engine %d source %d: parallel quote differs\n got %+v\nwant %+v",
+					engine, s, got[s], want)
+			}
+		}
+		if got[0] != nil {
+			t.Fatal("destination slot must be nil")
+		}
+	}
+}
+
+func TestQuoteString(t *testing.T) {
+	q, err := UnicastQuote(graph.Figure2(), 1, 0, EngineFast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := q.String()
+	for _, want := range []string{"Quote{1->0", "path=", "cost=", "total="} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q, missing %q", s, want)
+		}
+	}
+}

@@ -102,32 +102,12 @@ func (q *Quote) String() string {
 // for every relay v_k on it. ErrNoPath is returned when t is
 // unreachable. The engine chooses the replacement-path algorithm;
 // both produce identical payments (see fast_test.go), differing only
-// in running time.
+// in running time. The call runs on the shared package Solver, so
+// repeated quotes reuse warm workspaces; callers issuing many quotes
+// and wanting zero steady-state allocations should hold their own
+// Solver and use QuoteInto.
 func UnicastQuote(g *graph.NodeGraph, s, t int, engine Engine) (*Quote, error) {
-	if s == t {
-		return nil, fmt.Errorf("core: source and target are both %d", s)
-	}
-	treeS := sp.NodeDijkstra(g, s, nil)
-	if !treeS.Reachable(t) {
-		return nil, ErrNoPath
-	}
-	path := treeS.PathTo(t)
-	cost := treeS.Dist[t]
-	q := &Quote{Source: s, Target: t, Path: path, Cost: cost, Payments: make(map[int]float64, len(path))}
-
-	var replacement map[int]float64
-	switch engine {
-	case EngineNaive:
-		replacement = sp.ReplacementCostsNaive(g, s, t, path)
-	case EngineFast:
-		replacement = replacementCostsFast(g, s, t, treeS)
-	default:
-		return nil, fmt.Errorf("core: unknown engine %d", engine)
-	}
-	for _, k := range q.Relays() {
-		q.Payments[k] = replacement[k] - cost + g.Cost(k)
-	}
-	return q, nil
+	return defaultSolver.Quote(g, s, t, engine)
 }
 
 // SetQuote runs the generalized collusion-resistant mechanism
@@ -155,7 +135,7 @@ func SetQuote(g *graph.NodeGraph, s, t int, avoid func(k int) []int) (*Quote, er
 	cost := treeS.Dist[t]
 	q := &Quote{Source: s, Target: t, Path: path, Cost: cost, Payments: make(map[int]float64)}
 
-	onPath := make(map[int]bool, len(path))
+	onPath := make([]bool, g.N())
 	for _, v := range path {
 		onPath[v] = true
 	}

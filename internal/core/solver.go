@@ -1,0 +1,218 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"truthroute/internal/graph"
+	"truthroute/internal/pq"
+	"truthroute/internal/sp"
+)
+
+// Solver is the amortized steady-state entry point for payment
+// computation: it owns a pool of per-worker workspaces (Dijkstra
+// state, the fast engine's bush/level scratch, dense replacement-cost
+// buffers) so that a warmed quote path performs zero allocations per
+// call. One Solver is safe for concurrent use — each call checks a
+// workspace out of a sync.Pool and returns it when done — and
+// produces output bit-identical to the one-shot UnicastQuote API,
+// which itself routes through a package-level Solver.
+//
+// The regime this serves is the paper's own motivation at server
+// scale: many quotes against a slowly-changing network, where the
+// O((n+m) log n) heap loop should dominate, not the allocator.
+type Solver struct {
+	pool sync.Pool
+}
+
+// NewSolver returns an empty solver; workspaces are created on demand
+// and recycled across calls.
+func NewSolver() *Solver { return &Solver{} }
+
+// defaultSolver backs UnicastQuote and AllUnicastQuotesParallel so
+// every caller shares one warm workspace pool.
+var defaultSolver = NewSolver()
+
+func (sv *Solver) acquire(n int) *solverSpace {
+	w, _ := sv.pool.Get().(*solverSpace)
+	if w == nil {
+		w = &solverSpace{}
+	}
+	w.resize(n)
+	return w
+}
+
+func (sv *Solver) release(w *solverSpace) { sv.pool.Put(w) }
+
+// Quote computes the §III.A mechanism output for one request,
+// allocating a fresh Quote the caller may retain. See QuoteInto for
+// the allocation-free variant.
+func (sv *Solver) Quote(g *graph.NodeGraph, s, t int, engine Engine) (*Quote, error) {
+	q := &Quote{}
+	if err := sv.QuoteInto(q, g, s, t, engine); err != nil {
+		return nil, err
+	}
+	return q, nil
+}
+
+// QuoteInto computes the quote for (s, t) into q, reusing q.Path's
+// backing array and q.Payments' buckets. On a warmed workspace and a
+// recycled q this performs zero heap allocations (asserted by
+// TestSolverSteadyStateAllocs). On error q is left unspecified.
+func (sv *Solver) QuoteInto(q *Quote, g *graph.NodeGraph, s, t int, engine Engine) error {
+	if s == t {
+		return fmt.Errorf("core: source and target are both %d", s)
+	}
+	w := sv.acquire(g.N())
+	defer sv.release(w)
+	treeS := w.wsS.NodeDijkstra(g, s, nil)
+	if !treeS.Reachable(t) {
+		return ErrNoPath
+	}
+	w.pathBuf = treeS.PathInto(t, w.pathBuf)
+	path := w.pathBuf
+	cost := treeS.Dist[t]
+
+	switch engine {
+	case EngineNaive:
+		w.naiveReplacement(g, s, t, path)
+	case EngineFast:
+		w.fastReplacement(g, s, t, treeS, path)
+	default:
+		return fmt.Errorf("core: unknown engine %d", engine)
+	}
+
+	q.Source, q.Target, q.Cost = s, t, cost
+	q.Path = append(q.Path[:0], path...)
+	if q.Payments == nil {
+		q.Payments = make(map[int]float64, len(path))
+	} else {
+		clear(q.Payments)
+	}
+	for i := 1; i+1 < len(path); i++ {
+		k := path[i]
+		q.Payments[k] = w.repl[k] - cost + g.Cost(k)
+	}
+	return nil
+}
+
+// AllQuotes computes one quote per source toward dest, fanning the
+// sources across GOMAXPROCS workers. Entry dest is nil; sources that
+// cannot reach dest get a nil entry, matching AllUnicastQuotes. Each
+// source is an independent computation on its own pooled workspace
+// writing an index-addressed slot — the same determinism discipline
+// experiment.forEach applies to campaign instances — so the result is
+// bit-identical to a sequential loop over Quote.
+func (sv *Solver) AllQuotes(g *graph.NodeGraph, dest int, engine Engine) ([]*Quote, error) {
+	if engine != EngineFast && engine != EngineNaive {
+		return nil, fmt.Errorf("core: unknown engine %d", engine)
+	}
+	n := g.N()
+	out := make([]*Quote, n)
+	if n < 2 || dest < 0 || dest >= n {
+		return out, nil
+	}
+	g.CSR() // build the shared topology view once, before the fan-out
+	each := func(s int) {
+		if q, err := sv.Quote(g, s, dest, engine); err == nil {
+			out[s] = q // only ErrNoPath is possible here; its slot stays nil
+		}
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n-1 {
+		workers = n - 1
+	}
+	if workers <= 1 {
+		for s := 0; s < n; s++ {
+			if s != dest {
+				each(s)
+			}
+		}
+		return out, nil
+	}
+	var wg sync.WaitGroup
+	work := make(chan int)
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for s := range work {
+				each(s)
+			}
+		}()
+	}
+	for s := 0; s < n; s++ {
+		if s != dest {
+			work <- s
+		}
+	}
+	close(work)
+	wg.Wait()
+	return out, nil
+}
+
+// AllUnicastQuotesParallel is AllQuotes on the shared package solver:
+// the per-source counterpart of the batch value-iteration engine for
+// workloads that want true VCG quotes for every source at once.
+func AllUnicastQuotesParallel(g *graph.NodeGraph, dest int, engine Engine) ([]*Quote, error) {
+	return defaultSolver.AllQuotes(g, dest, engine)
+}
+
+// solverSpace is one worker's reusable scratch. All arrays are sized
+// to the last graph seen and only reallocated when the node count
+// changes; per-query state is invalidated either by generation-
+// stamped marks (Clear is O(1)) or by rewriting exactly the entries
+// the query touches, never by O(n) refills.
+type solverSpace struct {
+	n        int
+	wsS, wsT *sp.Workspace // source-rooted and scratch/target-rooted trees
+
+	// Fast-engine scratch (see fastReplacement in fast.go).
+	bushQ                           pq.Queue
+	levelSet, inBush, done          *sp.Marks
+	pos, level                      []int32
+	rAvoid, cAvoid                  []float64
+	bushCount, bushStart, bushNodes []int32
+	edges                           []crossEdge
+	heap                            crossHeap
+
+	// repl[k] = ||P_-vk(s,t,d)|| for the current query's relays.
+	repl []float64
+	// banned is all-false between uses (the naive engine sets and
+	// clears one entry per relay).
+	banned  []bool
+	pathBuf []int
+}
+
+func (w *solverSpace) resize(n int) {
+	if w.n == n && w.wsS != nil {
+		return
+	}
+	w.n = n
+	w.wsS, w.wsT = sp.NewWorkspace(n), sp.NewWorkspace(n)
+	w.bushQ = sp.NewQueue(n)
+	w.levelSet, w.inBush, w.done = sp.NewMarks(n), sp.NewMarks(n), sp.NewMarks(n)
+	w.pos, w.level = make([]int32, n), make([]int32, n)
+	w.rAvoid, w.cAvoid = make([]float64, n), make([]float64, n)
+	w.bushCount, w.bushStart = make([]int32, n+1), make([]int32, n+2)
+	w.bushNodes = make([]int32, n)
+	w.repl = make([]float64, n)
+	w.banned = make([]bool, n)
+	w.pathBuf = w.pathBuf[:0]
+	w.edges = w.edges[:0]
+	w.heap.a = w.heap.a[:0]
+}
+
+// naiveReplacement fills w.repl for every interior node of path by
+// re-running Dijkstra once per relay — sp.ReplacementCostsNaive on
+// workspace state instead of fresh allocations.
+func (w *solverSpace) naiveReplacement(g *graph.NodeGraph, s, t int, path []int) {
+	for i := 1; i+1 < len(path); i++ {
+		k := path[i]
+		w.banned[k] = true
+		tree := w.wsT.NodeDijkstra(g, s, w.banned)
+		w.repl[k] = tree.Dist[t]
+		w.banned[k] = false
+	}
+}

@@ -1,0 +1,47 @@
+package experiment
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+// TestForEachParallel pins the worker fan-out branch even on
+// single-CPU machines (where GOMAXPROCS(0) == 1 would always take the
+// sequential fallback): every index must run exactly once, and slot
+// addressing must hold under concurrency.
+func TestForEachParallel(t *testing.T) {
+	prev := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(prev)
+
+	const n = 100
+	var counts [n]int32
+	forEach(n, func(i int) { atomic.AddInt32(&counts[i], 1) })
+	for i, c := range counts {
+		if c != 1 {
+			t.Fatalf("index %d ran %d times, want 1", i, c)
+		}
+	}
+
+	// n smaller than the worker count clamps workers to n.
+	var small [2]int32
+	forEach(2, func(i int) { atomic.AddInt32(&small[i], 1) })
+	if small[0] != 1 || small[1] != 1 {
+		t.Fatalf("small fan-out ran %v times, want one each", small)
+	}
+
+	// n == 0 must be a no-op in either branch.
+	forEach(0, func(i int) { t.Errorf("fn called for n == 0 (i=%d)", i) })
+}
+
+func TestForEachSequentialFallback(t *testing.T) {
+	prev := runtime.GOMAXPROCS(1)
+	defer runtime.GOMAXPROCS(prev)
+	var ran [5]int32
+	forEach(5, func(i int) { ran[i]++ })
+	for i, c := range ran {
+		if c != 1 {
+			t.Fatalf("index %d ran %d times, want 1", i, c)
+		}
+	}
+}

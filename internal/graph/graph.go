@@ -25,6 +25,10 @@ var Inf = math.Inf(1)
 type NodeGraph struct {
 	cost []float64
 	adj  [][]int
+	// csr caches the flat CSR adjacency view (see csr.go). The box is
+	// shared with cost views, which share the topology, and dropped on
+	// every edge mutation.
+	csr *csrBox
 }
 
 // NewNodeGraph returns a graph with n isolated nodes of zero cost.
@@ -32,6 +36,7 @@ func NewNodeGraph(n int) *NodeGraph {
 	return &NodeGraph{
 		cost: make([]float64, n),
 		adj:  make([][]int, n),
+		csr:  &csrBox{},
 	}
 }
 
@@ -87,6 +92,7 @@ func (g *NodeGraph) AddEdge(u, v int) {
 	}
 	g.adj[u] = insertSorted(g.adj[u], v)
 	g.adj[v] = insertSorted(g.adj[v], u)
+	g.csr.invalidate()
 }
 
 // RemoveEdge deletes the undirected edge {u, v} if present and
@@ -97,6 +103,7 @@ func (g *NodeGraph) RemoveEdge(u, v int) bool {
 	}
 	g.adj[u] = removeSorted(g.adj[u], v)
 	g.adj[v] = removeSorted(g.adj[v], u)
+	g.csr.invalidate()
 	return true
 }
 
@@ -129,7 +136,7 @@ func (g *NodeGraph) Clone() *NodeGraph {
 // evaluates counterfactual profiles d|^i b without mutating shared
 // state.
 func (g *NodeGraph) WithCosts(c []float64) *NodeGraph {
-	out := &NodeGraph{cost: make([]float64, g.N()), adj: g.adj}
+	out := &NodeGraph{cost: make([]float64, g.N()), adj: g.adj, csr: g.csr}
 	copy(out.cost, c)
 	return out
 }
@@ -138,7 +145,7 @@ func (g *NodeGraph) WithCosts(c []float64) *NodeGraph {
 // and every other node keeps its current declaration (the paper's
 // d|^v c notation). The adjacency structure is shared.
 func (g *NodeGraph) WithCost(v int, c float64) *NodeGraph {
-	out := &NodeGraph{cost: append([]float64(nil), g.cost...), adj: g.adj}
+	out := &NodeGraph{cost: append([]float64(nil), g.cost...), adj: g.adj, csr: g.csr}
 	out.SetCost(v, c)
 	return out
 }

@@ -116,7 +116,10 @@ func (g *LinkGraph) UnmarshalJSON(data []byte) error {
 		}
 		lg.AddArc(a.From, a.To, a.W)
 	}
-	*g = *lg
+	// Field-wise install rather than *g = *lg: the cached reverse
+	// adjacency is an atomic.Pointer and must not be copied by value.
+	g.out = lg.out
+	g.rev.Store(nil)
 	return nil
 }
 

@@ -26,6 +26,15 @@ func NewBinary(capacity int) *Binary {
 // Len reports the number of queued items.
 func (b *Binary) Len() int { return len(b.ids) }
 
+// Reset empties the heap in O(queued items), keeping the backing
+// arrays for reuse.
+func (b *Binary) Reset() {
+	for _, id := range b.ids {
+		b.pos[id] = -1
+	}
+	b.ids = b.ids[:0]
+}
+
 // Contains reports whether id is currently queued.
 func (b *Binary) Contains(id int) bool { return b.pos[id] >= 0 }
 

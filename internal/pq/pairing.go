@@ -31,6 +31,15 @@ func NewPairing(capacity int) *Pairing {
 // Len reports the number of queued items.
 func (p *Pairing) Len() int { return p.n }
 
+// Reset empties the heap by popping every remaining item, keeping the
+// node arena for reuse. A Dijkstra run drains its queue, so the
+// steady-state cost is O(1).
+func (p *Pairing) Reset() {
+	for p.root >= 0 {
+		p.Pop()
+	}
+}
+
 // Contains reports whether id is currently queued.
 func (p *Pairing) Contains(id int) bool { return p.nodes[id].in }
 

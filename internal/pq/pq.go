@@ -28,6 +28,10 @@ type Queue interface {
 	Contains(id int) bool
 	// Priority returns the current priority of a queued id.
 	Priority(id int) float64
+	// Reset empties the queue in O(queued items), leaving it ready
+	// for reuse without reallocating; this is what lets a solver
+	// workspace amortize one heap across many Dijkstra runs.
+	Reset()
 }
 
 // less orders (priority, id) pairs; ties on priority break by id so

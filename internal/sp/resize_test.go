@@ -1,0 +1,40 @@
+package sp
+
+import (
+	"testing"
+
+	"truthroute/internal/graph"
+)
+
+// TestWorkspaceResize covers the three Resize behaviours: the same-n
+// fast path (no reallocation), growing, and shrinking.
+func TestWorkspaceResize(t *testing.T) {
+	w := NewWorkspace(5)
+	d0 := &w.tree.Dist[0]
+	w.Resize(5) // same size: must keep the existing buffers
+	if &w.tree.Dist[0] != d0 {
+		t.Fatal("Resize to same n reallocated the tree")
+	}
+	w.Resize(9)
+	if len(w.tree.Dist) != 9 || len(w.tree.Parent) != 9 {
+		t.Fatalf("after grow: dist len %d parent len %d, want 9", len(w.tree.Dist), len(w.tree.Parent))
+	}
+	for i := 0; i < 9; i++ {
+		if w.tree.Dist[i] != Inf || w.tree.Parent[i] != -1 {
+			t.Fatalf("grown entry %d not reset: dist=%g parent=%d", i, w.tree.Dist[i], w.tree.Parent[i])
+		}
+	}
+	w.Resize(3)
+	if len(w.tree.Dist) != 3 {
+		t.Fatalf("after shrink: dist len %d, want 3", len(w.tree.Dist))
+	}
+	// The workspace must still run a correct Dijkstra after resizing.
+	g := graph.NewNodeGraph(3)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.SetCost(1, 4)
+	tr := w.NodeDijkstra(g, 0, nil)
+	if tr.Dist[2] != 4 {
+		t.Fatalf("dist to 2 = %g, want 4", tr.Dist[2])
+	}
+}

@@ -36,23 +36,37 @@ type Tree struct {
 // PathTo reconstructs the tree path from the root to v (inclusive of
 // both endpoints). It returns nil when v is unreachable.
 func (t *Tree) PathTo(v int) []int {
-	if v != t.Src && t.Parent[v] < 0 {
+	return t.PathInto(v, nil)
+}
+
+// PathInto reconstructs the tree path from the root to v (inclusive of
+// both endpoints) into buf, growing it only when too small, and
+// returns the filled slice. It returns nil when v is unreachable. The
+// path is measured with one parent walk and written root-first with a
+// second, so there is no append-growing and no reversal pass: a
+// caller that recycles buf reconstructs paths with zero allocations.
+func (t *Tree) PathInto(v int, buf []int) []int {
+	if v != t.Src && (v < 0 || t.Parent[v] < 0) {
 		return nil
 	}
-	var rev []int
-	for u := v; u != -1; u = t.Parent[u] {
-		rev = append(rev, u)
-		if u == t.Src {
-			break
+	depth := 1
+	for u := v; u != t.Src; depth++ {
+		u = t.Parent[u]
+		if u < 0 { // not rooted at Src (corrupt or foreign tree)
+			return nil
 		}
 	}
-	if rev[len(rev)-1] != t.Src {
-		return nil
+	if cap(buf) < depth {
+		buf = make([]int, depth)
+	} else {
+		buf = buf[:depth]
 	}
-	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
-		rev[i], rev[j] = rev[j], rev[i]
+	for u, i := v, depth-1; ; u, i = t.Parent[u], i-1 {
+		buf[i] = u
+		if i == 0 {
+			return buf
+		}
 	}
-	return rev
 }
 
 // Reachable reports whether v is reachable from the root.
@@ -70,41 +84,9 @@ var NewQueue = func(capacity int) pq.Queue { return pq.NewBinary(capacity) }
 // (the source never pays itself and is never "removed" in the
 // replacement-path computations).
 func NodeDijkstra(g *graph.NodeGraph, src int, banned []bool) *Tree {
-	n := g.N()
-	t := &Tree{Src: src, Dist: make([]float64, n), Parent: make([]int, n)}
-	for i := range t.Dist {
-		t.Dist[i] = Inf
-		t.Parent[i] = -1
-	}
-	t.Dist[src] = 0
-	q := NewQueue(n)
-	q.Push(src, 0)
-	for q.Len() > 0 {
-		u, du := q.Pop()
-		t.Order = append(t.Order, u)
-		// The "arc weight" out of u is u's relay cost, except that
-		// the source relays nothing for itself.
-		w := g.Cost(u)
-		if u == src {
-			w = 0
-		}
-		for _, v := range g.Neighbors(u) {
-			if banned != nil && banned[v] {
-				continue
-			}
-			nd := du + w
-			if nd < t.Dist[v] {
-				t.Dist[v] = nd
-				t.Parent[v] = u
-				if q.Contains(v) {
-					q.DecreaseKey(v, nd)
-				} else {
-					q.Push(v, nd)
-				}
-			}
-		}
-	}
-	return t
+	// One implementation serves both APIs: the allocating entry point
+	// runs a throwaway workspace and lets the tree escape with it.
+	return NewWorkspace(g.N()).NodeDijkstra(g, src, banned)
 }
 
 // LinkDijkstra computes the shortest path tree from src in a
@@ -114,52 +96,7 @@ func NodeDijkstra(g *graph.NodeGraph, src int, banned []bool) *Tree {
 // yielding distances *to* src — what the destination-rooted SPT of
 // the distributed protocol needs.
 func LinkDijkstra(g *graph.LinkGraph, src int, banned []bool, reverse bool) *Tree {
-	n := g.N()
-	t := &Tree{Src: src, Dist: make([]float64, n), Parent: make([]int, n)}
-	for i := range t.Dist {
-		t.Dist[i] = Inf
-		t.Parent[i] = -1
-	}
-	var rev [][]graph.Arc
-	if reverse {
-		rev = make([][]graph.Arc, n)
-		for u := 0; u < n; u++ {
-			for _, a := range g.Out(u) {
-				if a.W < Inf {
-					rev[a.To] = append(rev[a.To], graph.Arc{To: u, W: a.W})
-				}
-			}
-		}
-	}
-	arcs := func(u int) []graph.Arc {
-		if reverse {
-			return rev[u]
-		}
-		return g.Out(u)
-	}
-	t.Dist[src] = 0
-	q := NewQueue(n)
-	q.Push(src, 0)
-	for q.Len() > 0 {
-		u, du := q.Pop()
-		t.Order = append(t.Order, u)
-		for _, a := range arcs(u) {
-			if a.W >= Inf || (banned != nil && banned[a.To]) {
-				continue
-			}
-			nd := du + a.W
-			if nd < t.Dist[a.To] {
-				t.Dist[a.To] = nd
-				t.Parent[a.To] = u
-				if q.Contains(a.To) {
-					q.DecreaseKey(a.To, nd)
-				} else {
-					q.Push(a.To, nd)
-				}
-			}
-		}
-	}
-	return t
+	return NewWorkspace(g.N()).LinkDijkstra(g, src, banned, reverse)
 }
 
 // NodePath returns the least cost path from s to t (inclusive) and

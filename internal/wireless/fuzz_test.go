@@ -38,14 +38,28 @@ func FuzzReadDeployment(f *testing.F) {
 			t.Fatalf("round trip changed size: %d -> %d", d.N(), back.N())
 		}
 		// Every accepted deployment must be safe to build graphs
-		// from; cap the size so one fuzz exec stays cheap.
+		// from; cap the size so one fuzz exec stays cheap. UDG's
+		// contract requires a common range (it panics otherwise, by
+		// design), so only uniform-range deployments may call it —
+		// heterogeneous ones exercise LinkGraph instead.
 		if d.N() > 0 && d.N() <= 64 {
-			g := d.UDG()
-			if g.N() != d.N() {
-				t.Fatalf("UDG dropped nodes: %d -> %d", d.N(), g.N())
+			uniform := true
+			for i := 1; i < d.N(); i++ {
+				if d.Range[i] != d.Range[0] {
+					uniform = false
+					break
+				}
 			}
-			d.Gabriel()
-			d.RNG()
+			if uniform {
+				g := d.UDG()
+				if g.N() != d.N() {
+					t.Fatalf("UDG dropped nodes: %d -> %d", d.N(), g.N())
+				}
+				d.Gabriel() // both derive from the UDG, so they
+				d.RNG()     // share its common-range precondition
+			} else if g := d.LinkGraph(PathLoss{Kappa: 2}); g.N() != d.N() {
+				t.Fatalf("LinkGraph dropped nodes: %d -> %d", d.N(), g.N())
+			}
 		}
 	})
 }

@@ -33,6 +33,18 @@ awk -v t="$total" -v m="$COVER_MIN" 'BEGIN {
 
 go test -race ./...
 
+# Allocation-regression gate: the steady-state zero-alloc guarantees
+# of the pooled solver (DESIGN.md §9) must hold on every run, so force
+# -count=1 — a cached "ok" would let a regression slide through.
+go test ./internal/core/ -run 'TestSolverSteadyStateAllocs|TestSolverConcurrent' -count=1
+
+# Bench report: regenerate BENCH_payments.json (ns/op, B/op,
+# allocs/op for the payment, Dijkstra and protocol benchmarks) so
+# allocation regressions show up as artifact diffs. BENCHTIME=1x
+# makes the step cheap when only the alloc columns matter.
+BENCHTIME=${BENCHTIME:-1x}
+go run ./cmd/benchreport -benchtime "$BENCHTIME" -out BENCH_payments.json
+
 # Fuzz smoke: each target runs its checked-in corpus plus a short
 # burst of fresh inputs. Go allows one -fuzz pattern per invocation.
 FUZZTIME=${FUZZTIME:-10s}
