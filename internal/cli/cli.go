@@ -34,6 +34,7 @@ func RunUnicastSim(args []string, stdout, stderr io.Writer) int {
 	asCSV := fs.Bool("csv", false, "emit CSV instead of aligned tables")
 	cpuProf := fs.String("cpuprofile", "", "write a CPU profile to this file")
 	memProf := fs.String("memprofile", "", "write a heap profile to this file on exit")
+	obsf := addObsFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -43,6 +44,12 @@ func RunUnicastSim(args []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 	defer stopProf()
+	obsFin, err := obsf.start(stderr)
+	if err != nil {
+		fmt.Fprintln(stderr, "unicast-sim:", err)
+		return 1
+	}
+	defer obsFin(stdout)
 	ids := experiment.FigureIDs()
 	if *figure != "all" {
 		ids = []string{*figure}
@@ -90,6 +97,7 @@ func RunPaytool(args []string, stdout, stderr io.Writer) int {
 	asJSON := fs.Bool("json", false, "emit the quote as JSON")
 	cpuProf := fs.String("cpuprofile", "", "write a CPU profile to this file")
 	memProf := fs.String("memprofile", "", "write a heap profile to this file on exit")
+	obsf := addObsFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -99,6 +107,12 @@ func RunPaytool(args []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 	defer stopProf()
+	obsFin, perr := obsf.start(stderr)
+	if perr != nil {
+		fmt.Fprintln(stderr, "paytool:", perr)
+		return 1
+	}
+	defer obsFin(stdout)
 	set := 0
 	for _, p := range []string{*nodePath, *linkPath, *edgePath} {
 		if p != "" {
@@ -255,14 +269,21 @@ func RunDisttrace(args []string, stdout, stderr io.Writer) int {
 	adversary := fs.String("adversary", "", "adversary spec: hider:NODE:HIDDEN, underpay:NODE:FACTOR, mute:NODE, impersonate:NODE:VICTIM")
 	delay := fs.Int("delay", 1, "maximum per-message delay in rounds (async when > 1)")
 	signed := fs.Bool("signed", false, "enable §III.D message signatures")
-	traced := fs.Bool("trace", false, "print a per-round traffic summary")
+	roundlog := fs.Bool("roundlog", false, "print a per-round traffic summary")
 	loss := fs.Float64("loss", 0, "i.i.d. per-frame loss probability in [0,1)")
 	dup := fs.Float64("dup", 0, "per-frame duplication probability in [0,1)")
 	burst := fs.String("burst", "", "Gilbert-Elliott burst loss: PGB:PBG:LOSSGOOD:LOSSBAD")
 	crash := fs.String("crash", "", "crash schedule: NODE:AT:RECOVER[,...] (RECOVER=-1 never)")
+	obsf := addObsFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
+	obsFin, oerr := obsf.start(stderr)
+	if oerr != nil {
+		fmt.Fprintln(stderr, "disttrace:", oerr)
+		return 1
+	}
+	defer obsFin(stdout)
 
 	var g *graph.NodeGraph
 	switch *fixture {
@@ -311,7 +332,7 @@ func RunDisttrace(args []string, stdout, stderr io.Writer) int {
 	if *signed {
 		net.EnableSigning(auth.NewKeyring(g.N()))
 	}
-	if *traced {
+	if *roundlog {
 		net.SetTrace(stdout)
 	}
 	s1, s2, converged := net.RunProtocol(200 * g.N())

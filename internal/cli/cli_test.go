@@ -255,17 +255,17 @@ func TestParseAdversaryImpersonate(t *testing.T) {
 	}
 }
 
-func TestDisttraceTraceFlag(t *testing.T) {
+func TestDisttraceRoundlogFlag(t *testing.T) {
 	var out, errOut strings.Builder
-	code := RunDisttrace([]string{"-fixture", "fig2", "-trace"}, &out, &errOut)
+	code := RunDisttrace([]string{"-fixture", "fig2", "-roundlog"}, &out, &errOut)
 	if code != 0 {
 		t.Fatalf("exit %d: %s", code, errOut.String())
 	}
 	if !strings.Contains(out.String(), "round    1:") {
-		t.Errorf("missing trace lines: %q", out.String()[:200])
+		t.Errorf("missing roundlog lines: %q", out.String()[:200])
 	}
 	if !strings.Contains(out.String(), "corrections") {
-		t.Error("trace format changed")
+		t.Error("roundlog format changed")
 	}
 }
 

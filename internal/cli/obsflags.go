@@ -1,0 +1,98 @@
+package cli
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"truthroute/internal/obs"
+)
+
+// obsFlags carries the observability flags every tool shares:
+// -metrics and -trace name files to receive the machine-readable
+// snapshot and the structured event trace when the run ends ("-"
+// writes to the tool's stdout, after its normal output), and
+// -debug-addr serves /metrics, /debug/vars and /debug/pprof over HTTP
+// while the run is in flight. Setting any of the three enables the
+// obs layer for the run; by default it stays off and costs nothing.
+type obsFlags struct {
+	metrics   *string
+	trace     *string
+	debugAddr *string
+}
+
+// addObsFlags registers the shared observability flags on fs.
+func addObsFlags(fs *flag.FlagSet) *obsFlags {
+	return &obsFlags{
+		metrics:   fs.String("metrics", "", `write a JSON metrics snapshot to this file at exit ("-" = stdout)`),
+		trace:     fs.String("trace", "", `record the structured event trace and write it as JSON lines to this file at exit ("-" = stdout)`),
+		debugAddr: fs.String("debug-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address while running (e.g. 127.0.0.1:6060)"),
+	}
+}
+
+// start enables the obs layer as requested and returns a finish
+// function that must run exactly once, after the instrumented work;
+// it writes the requested snapshot files and shuts the debug server
+// down, reporting write failures on stderr (it runs deferred on every
+// exit path, like stopProfiles). A run with no obs flag set gets
+// no-op start and finish.
+func (o *obsFlags) start(stderr io.Writer) (finish func(stdout io.Writer), err error) {
+	if *o.metrics == "" && *o.trace == "" && *o.debugAddr == "" {
+		return func(io.Writer) {}, nil
+	}
+	obs.Reset()
+	obs.Enable()
+	if *o.trace != "" {
+		obs.DefaultTrace.Start(0)
+	}
+	var srv *obs.Server
+	if *o.debugAddr != "" {
+		srv, err = obs.Serve(*o.debugAddr)
+		if err != nil {
+			obs.Disable()
+			obs.DefaultTrace.Stop()
+			return nil, err
+		}
+		fmt.Fprintf(stderr, "obs: debug server listening on %s\n", srv.URL)
+	}
+	return func(stdout io.Writer) {
+		obs.Disable()
+		obs.DefaultTrace.Stop()
+		if *o.metrics != "" {
+			writeObsSink(*o.metrics, "-metrics", stdout, stderr, obs.Default.WriteJSON)
+		}
+		if *o.trace != "" {
+			writeObsSink(*o.trace, "-trace", stdout, stderr, obs.DefaultTrace.WriteJSONLines)
+		}
+		if srv != nil {
+			if err := srv.Close(); err != nil {
+				fmt.Fprintln(stderr, "closing -debug-addr server:", err)
+			}
+		}
+	}, nil
+}
+
+// writeObsSink writes one obs artifact to path ("-" = stdout),
+// reporting failures on stderr.
+func writeObsSink(path, flagName string, stdout, stderr io.Writer, write func(io.Writer) error) {
+	w := stdout
+	var f *os.File
+	if path != "-" {
+		var err error
+		f, err = os.Create(path)
+		if err != nil {
+			fmt.Fprintf(stderr, "creating %s file: %v\n", flagName, err)
+			return
+		}
+		w = f
+	}
+	if err := write(w); err != nil {
+		fmt.Fprintf(stderr, "writing %s output: %v\n", flagName, err)
+	}
+	if f != nil {
+		if err := f.Close(); err != nil {
+			fmt.Fprintf(stderr, "closing %s file: %v\n", flagName, err)
+		}
+	}
+}

@@ -1,0 +1,84 @@
+package core
+
+import (
+	"testing"
+
+	"truthroute/internal/graph"
+	"truthroute/internal/obs"
+)
+
+// TestSolverObservability checks the quote hot path feeds the obs
+// layer when it is enabled: served-quote counts, pool hit/miss
+// accounting, the latency histogram, and the fan-out gauges.
+func TestSolverObservability(t *testing.T) {
+	g := graph.Grid(4, 4)
+	obs.Reset()
+	obs.Enable()
+	t.Cleanup(func() {
+		obs.Disable()
+		obs.Reset()
+	})
+
+	sv := NewSolver()
+	q := &Quote{}
+	const quotes = 5
+	for i := 0; i < quotes; i++ {
+		if err := sv.QuoteInto(q, g, 0, 15, EngineFast); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := obs.Default.Snapshot()
+	if got := s.Counters["core.quotes_served"]; got != quotes {
+		t.Errorf("core.quotes_served = %d, want %d", got, quotes)
+	}
+	hits, misses := s.Counters["core.pool_hits"], s.Counters["core.pool_misses"]
+	if hits+misses != quotes {
+		t.Errorf("pool hits %d + misses %d != %d acquisitions", hits, misses, quotes)
+	}
+	if misses < 1 {
+		t.Errorf("first acquisition must be a pool miss; misses = %d", misses)
+	}
+	if hits < 1 {
+		t.Errorf("a sequential warmed solver must hit the pool; hits = %d", hits)
+	}
+	if got := s.Histograms["core.quote_latency_ns"].Count; got != quotes {
+		t.Errorf("latency histogram count = %d, want %d", got, quotes)
+	}
+
+	obs.Reset()
+	all, err := sv.AllQuotes(g, 0, EngineFast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != g.N() {
+		t.Fatalf("AllQuotes returned %d slots", len(all))
+	}
+	s = obs.Default.Snapshot()
+	if got := s.Counters["core.quotes_served"]; got != uint64(g.N()-1) {
+		t.Errorf("core.quotes_served after AllQuotes = %d, want %d", got, g.N()-1)
+	}
+	if s.Gauges["core.fanout_workers"] < 1 {
+		t.Errorf("core.fanout_workers = %d, want >= 1", s.Gauges["core.fanout_workers"])
+	}
+	if s.Gauges["core.fanout_peak"] < 1 {
+		t.Errorf("core.fanout_peak = %d, want >= 1", s.Gauges["core.fanout_peak"])
+	}
+	if s.Gauges["core.fanout_active"] != 0 {
+		t.Errorf("core.fanout_active = %d after completion, want 0", s.Gauges["core.fanout_active"])
+	}
+}
+
+// TestSolverObservabilityDisabled pins the default: with the layer
+// off, instrumented runs leave every metric untouched.
+func TestSolverObservabilityDisabled(t *testing.T) {
+	obs.Reset()
+	g := graph.Grid(3, 3)
+	sv := NewSolver()
+	if _, err := sv.Quote(g, 0, 8, EngineFast); err != nil {
+		t.Fatal(err)
+	}
+	s := obs.Default.Snapshot()
+	if s.Counters["core.quotes_served"] != 0 || s.Histograms["core.quote_latency_ns"].Count != 0 {
+		t.Errorf("disabled obs recorded: %v", s.Counters)
+	}
+}

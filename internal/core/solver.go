@@ -4,8 +4,10 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"time"
 
 	"truthroute/internal/graph"
+	"truthroute/internal/obs"
 	"truthroute/internal/pq"
 	"truthroute/internal/sp"
 )
@@ -38,6 +40,9 @@ func (sv *Solver) acquire(n int) *solverSpace {
 	w, _ := sv.pool.Get().(*solverSpace)
 	if w == nil {
 		w = &solverSpace{}
+		obsPoolMisses.Inc()
+	} else {
+		obsPoolHits.Inc()
 	}
 	w.resize(n)
 	return w
@@ -63,6 +68,11 @@ func (sv *Solver) Quote(g *graph.NodeGraph, s, t int, engine Engine) (*Quote, er
 func (sv *Solver) QuoteInto(q *Quote, g *graph.NodeGraph, s, t int, engine Engine) error {
 	if s == t {
 		return fmt.Errorf("core: source and target are both %d", s)
+	}
+	var began time.Time
+	if obs.On() {
+		//lint:allow determinism wall clock feeds only the obs latency histogram, never mechanism output
+		began = time.Now()
 	}
 	w := sv.acquire(g.N())
 	defer sv.release(w)
@@ -94,6 +104,11 @@ func (sv *Solver) QuoteInto(q *Quote, g *graph.NodeGraph, s, t int, engine Engin
 		k := path[i]
 		q.Payments[k] = w.repl[k] - cost + g.Cost(k)
 	}
+	obsQuotes.Inc()
+	if obs.On() {
+		//lint:allow determinism wall clock feeds only the obs latency histogram, never mechanism output
+		obsQuoteNS.Observe(float64(time.Since(began).Nanoseconds()))
+	}
 	return nil
 }
 
@@ -115,14 +130,17 @@ func (sv *Solver) AllQuotes(g *graph.NodeGraph, dest int, engine Engine) ([]*Quo
 	}
 	g.CSR() // build the shared topology view once, before the fan-out
 	each := func(s int) {
+		obsFanPeak.SetMax(obsFanActive.Add(1))
 		if q, err := sv.Quote(g, s, dest, engine); err == nil {
 			out[s] = q // only ErrNoPath is possible here; its slot stays nil
 		}
+		obsFanActive.Add(-1)
 	}
 	workers := runtime.GOMAXPROCS(0)
 	if workers > n-1 {
 		workers = n - 1
 	}
+	obsFanWorkers.Set(int64(workers))
 	if workers <= 1 {
 		for s := 0; s < n; s++ {
 			if s != dest {

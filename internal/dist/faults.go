@@ -38,6 +38,8 @@ package dist
 import (
 	"fmt"
 	"math/rand/v2"
+
+	"truthroute/internal/obs"
 )
 
 // frame kinds, for sequence spaces and the per-kind drop counters.
@@ -449,6 +451,8 @@ func (n *Network) pumpRetransmissions() {
 		}
 		e.rto = min(2*e.rto, n.rtoCap())
 		n.FaultStats.Retransmissions++
+		obsRetransmissions.Inc()
+		obs.Emit("dist.retransmit", int64(k.from), int64(k.to), int64(k.kind))
 		n.sendFrame(k, e)
 	}
 }
@@ -482,6 +486,7 @@ func (n *Network) sendFrame(k chKey, e *txEntry) {
 	f := n.faults
 	e.lastSent = n.Rounds
 	n.Messages++
+	obsSentByKind(k.kind)
 	if f.dropFrame(k.from, k.to) {
 		switch k.kind {
 		case kindSPT:
@@ -491,12 +496,15 @@ func (n *Network) sendFrame(k chKey, e *txEntry) {
 		default:
 			n.FaultStats.DroppedCorrect++
 		}
+		obsDroppedByKind(k.kind)
 		return
 	}
 	n.schedule(k.from, frame{msg: e.msg, phys: k.from, seq: e.seq, kind: k.kind, arq: true})
 	if f.plan.Dup > 0 && f.rng.Float64() < f.plan.Dup {
 		n.FaultStats.DupInjected++
+		obsDupInjected.Inc()
 		n.Messages++
+		obsSentByKind(k.kind)
 		n.schedule(k.from, frame{msg: e.msg, phys: k.from, seq: e.seq, kind: k.kind, arq: true})
 	}
 }
@@ -512,6 +520,7 @@ func (n *Network) receive(to int, fr frame) (Message, bool) {
 	}
 	if f.crashed[to] {
 		n.FaultStats.CrashDropped++
+		obsCrashDropped.Inc()
 		return Message{}, false
 	}
 	if !fr.arq {
@@ -523,6 +532,7 @@ func (n *Network) receive(to int, fr frame) (Message, bool) {
 		f.rxSeq[k] = fr.seq
 	} else {
 		n.FaultStats.DupDropped++
+		obsDupDropped.Inc()
 	}
 	// The MAC acknowledgement crosses within the round (an 802.11
 	// ACK returns within SIFS, far below protocol-round granularity)
@@ -530,6 +540,7 @@ func (n *Network) receive(to int, fr frame) (Message, bool) {
 	if !f.crashed[fr.phys] {
 		if f.dropFrame(to, fr.phys) {
 			n.FaultStats.DroppedAcks++
+			obsDroppedAcks.Inc()
 		} else if e := f.unacked[k]; e != nil && e.seq <= fr.seq {
 			delete(f.unacked, k)
 		}

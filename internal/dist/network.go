@@ -37,9 +37,11 @@ import (
 	"io"
 	"math"
 	"math/rand/v2"
+	"time"
 
 	"truthroute/internal/auth"
 	"truthroute/internal/graph"
+	"truthroute/internal/obs"
 )
 
 // Inf marks "no route yet".
@@ -290,7 +292,7 @@ func (n *Network) CorrectionGrace() int {
 
 // SetTrace emits one summary line per executed round to w: how many
 // announcements, price updates, corrections and accusations were
-// delivered. Useful with disttrace -trace.
+// delivered. Useful with disttrace -roundlog.
 func (n *Network) SetTrace(w io.Writer) { n.trace = w }
 
 // ReDeclare changes node v's declared cost mid-run and drops every
@@ -346,6 +348,7 @@ func (n *Network) transmit(sender int, m Message) {
 		return
 	}
 	n.Messages++
+	obsSentByKind(kindOf(&m))
 	n.schedule(sender, frame{msg: m, phys: sender})
 }
 
@@ -361,6 +364,8 @@ func (n *Network) deliver(sender int, msgs []Message) {
 			// Accusations are flooded out of band (signed, §III.H);
 			// the simulator records them centrally.
 			n.Log = append(n.Log, *m.Accuse)
+			obsAccusations.Inc()
+			obs.Emit("dist.accuse", int64(n.Rounds), int64(sender), int64(m.Accuse.Offender))
 			continue
 		}
 		if n.keyring != nil {
@@ -382,6 +387,7 @@ func (n *Network) deliver(sender int, msgs []Message) {
 			// simulation — a buggy or malicious Behavior must not be
 			// able to take down the harness.
 			n.Violations++
+			obsViolations.Inc()
 			n.Log = append(n.Log, Accusation{
 				Offender: sender,
 				Kind:     fmt.Sprintf("protocol violation: sent to non-neighbour %d", m.To),
@@ -409,6 +415,7 @@ func (n *Network) verified(m Message) bool {
 		return true
 	}
 	n.DroppedForged++
+	obsDroppedForged.Inc()
 	return false
 }
 
@@ -419,7 +426,13 @@ func (n *Network) verified(m Message) bool {
 // arriving frame passes the link-layer filter (crash drop, dedup,
 // MAC acknowledgement) before reaching its Behavior.
 func (n *Network) RunRound() bool {
+	var began time.Time
+	if obs.On() {
+		//lint:allow determinism wall clock feeds only the obs round-latency histogram, never protocol state
+		began = time.Now()
+	}
 	n.Rounds++
+	obsRounds.Inc()
 	n.applyFaultEvents()
 	n.pumpRetransmissions()
 	byTarget := n.pending[n.Rounds]
@@ -427,14 +440,18 @@ func (n *Network) RunRound() bool {
 	// Filter arrivals in node order: the link layer draws from the
 	// shared fault RNG (ack loss), so iteration order must be
 	// deterministic for runs to replay bit-for-bit.
+	delivered := 0
 	inboxes := make([][]Message, len(n.Nodes))
 	for i := range n.Nodes {
 		for _, fr := range byTarget[i] {
 			if m, ok := n.receive(i, fr); ok {
 				inboxes[i] = append(inboxes[i], m)
+				delivered++
 			}
 		}
 	}
+	obsDelivered.Observe(float64(delivered))
+	obs.Emit("dist.round", int64(n.Rounds), int64(delivered), int64(len(n.pending)))
 	if n.trace != nil {
 		var spt, price, corr int
 		for _, q := range inboxes {
@@ -481,6 +498,10 @@ func (n *Network) RunRound() bool {
 		// change the world: the network is not quiescent.
 		active = true
 	}
+	if obs.On() {
+		//lint:allow determinism wall clock feeds only the obs round-latency histogram, never protocol state
+		obsRoundNS.Observe(float64(time.Since(began).Nanoseconds()))
+	}
 	return active
 }
 
@@ -521,7 +542,15 @@ func (n *Network) RunProtocol(maxRounds int) (stage1, stage2 int, converged bool
 		b.StartStage2()
 	}
 	stage2, c2 = n.Run(maxRounds)
-	return stage1, stage2, c1 && c2
+	converged = c1 && c2
+	obsStage1Rounds.Set(int64(stage1))
+	obsStage2Rounds.Set(int64(stage2))
+	if converged {
+		obsConverged.Set(1)
+	} else {
+		obsConverged.Set(0)
+	}
+	return stage1, stage2, converged
 }
 
 // States snapshots every node's state.

@@ -1,0 +1,70 @@
+package dist
+
+import "truthroute/internal/obs"
+
+// Protocol and ARQ instrumentation (DESIGN.md §10). Counters mirror
+// the Network's own per-run fields (Messages, FaultStats, Log) into
+// the process-wide obs registry so an operator-facing snapshot covers
+// every network a process ran; gauges record the most recent
+// RunProtocol's convergence shape. All of it is inert until
+// obs.Enable.
+var (
+	// obsRounds counts executed protocol rounds across all networks.
+	obsRounds = obs.NewCounter("dist.rounds")
+	// obsRoundNS is the wall time one synchronous round takes.
+	obsRoundNS = obs.NewHistogram("dist.round_latency_ns", obs.LatencyBuckets())
+	// obsDelivered is the per-round count of messages handed to
+	// Behaviors after link-layer filtering.
+	obsDelivered = obs.NewHistogram("dist.delivered_per_round", obs.SizeBuckets())
+
+	// Transmissions by protocol kind (broadcast expansion counted per
+	// receiver, retransmissions included — energy is spent per frame).
+	obsSentSPT     = obs.NewCounter("dist.sent_spt")
+	obsSentPrice   = obs.NewCounter("dist.sent_price")
+	obsSentCorrect = obs.NewCounter("dist.sent_correction")
+
+	// ARQ / fault-layer outcomes, mirroring FaultStats.
+	obsRetransmissions = obs.NewCounter("dist.retransmissions")
+	obsDroppedSPT      = obs.NewCounter("dist.dropped_spt")
+	obsDroppedPrice    = obs.NewCounter("dist.dropped_price")
+	obsDroppedCorrect  = obs.NewCounter("dist.dropped_correction")
+	obsDroppedAcks     = obs.NewCounter("dist.dropped_acks")
+	obsCrashDropped    = obs.NewCounter("dist.crash_dropped")
+	obsDupInjected     = obs.NewCounter("dist.dup_injected")
+	obsDupDropped      = obs.NewCounter("dist.dup_dropped")
+
+	// Mechanism-enforcement events.
+	obsAccusations   = obs.NewCounter("dist.accusations")
+	obsViolations    = obs.NewCounter("dist.violations")
+	obsDroppedForged = obs.NewCounter("dist.dropped_forged")
+
+	// Convergence shape of the most recent RunProtocol call.
+	obsStage1Rounds = obs.NewGauge("dist.stage1_rounds")
+	obsStage2Rounds = obs.NewGauge("dist.stage2_rounds")
+	obsConverged    = obs.NewGauge("dist.converged")
+)
+
+// obsSentByKind routes a transmission tally to its per-kind counter.
+func obsSentByKind(kind int) {
+	switch kind {
+	case kindSPT:
+		obsSentSPT.Inc()
+	case kindPrice:
+		obsSentPrice.Inc()
+	default:
+		obsSentCorrect.Inc()
+	}
+}
+
+// obsDroppedByKind routes a channel-loss tally to its per-kind
+// counter.
+func obsDroppedByKind(kind int) {
+	switch kind {
+	case kindSPT:
+		obsDroppedSPT.Inc()
+	case kindPrice:
+		obsDroppedPrice.Inc()
+	default:
+		obsDroppedCorrect.Inc()
+	}
+}

@@ -1,0 +1,117 @@
+package dist
+
+import (
+	"testing"
+
+	"truthroute/internal/graph"
+	"truthroute/internal/obs"
+)
+
+func withObs(t *testing.T) {
+	t.Helper()
+	obs.Reset()
+	obs.Enable()
+	t.Cleanup(func() {
+		obs.Disable()
+		obs.Reset()
+	})
+}
+
+// TestObservabilityMirrorsNetworkCounters is the acceptance property
+// behind `disttrace -metrics`: the obs counters must agree exactly
+// with the Network's own books — Messages, FaultStats, Rounds, the
+// accusation log — for a lossy, duplicating run.
+func TestObservabilityMirrorsNetworkCounters(t *testing.T) {
+	withObs(t)
+	g := graph.Figure2()
+	net := NewNetwork(g, 0, nil)
+	net.SetFaults(&FaultPlan{Seed: 11, Loss: 0.2, Dup: 0.05})
+	s1, s2, converged := net.RunProtocol(200 * g.N())
+	if !converged {
+		t.Fatalf("honest lossy run did not converge (stages %d/%d)", s1, s2)
+	}
+
+	s := obs.Default.Snapshot()
+	if got := s.Counters["dist.rounds"]; got != uint64(net.Rounds) {
+		t.Errorf("dist.rounds = %d, want %d", got, net.Rounds)
+	}
+	if got := s.Counters["dist.retransmissions"]; got != uint64(net.FaultStats.Retransmissions) {
+		t.Errorf("dist.retransmissions = %d, want %d", got, net.FaultStats.Retransmissions)
+	}
+	sent := s.Counters["dist.sent_spt"] + s.Counters["dist.sent_price"] + s.Counters["dist.sent_correction"]
+	if sent != uint64(net.Messages) {
+		t.Errorf("sent-by-kind total = %d, want Messages = %d", sent, net.Messages)
+	}
+	dropped := s.Counters["dist.dropped_spt"] + s.Counters["dist.dropped_price"] + s.Counters["dist.dropped_correction"]
+	if dropped != uint64(net.FaultStats.DroppedData()) {
+		t.Errorf("dropped-by-kind total = %d, want %d", dropped, net.FaultStats.DroppedData())
+	}
+	if got := s.Counters["dist.dropped_acks"]; got != uint64(net.FaultStats.DroppedAcks) {
+		t.Errorf("dist.dropped_acks = %d, want %d", got, net.FaultStats.DroppedAcks)
+	}
+	if got := s.Counters["dist.dup_injected"]; got != uint64(net.FaultStats.DupInjected) {
+		t.Errorf("dist.dup_injected = %d, want %d", got, net.FaultStats.DupInjected)
+	}
+	if got := s.Counters["dist.dup_dropped"]; got != uint64(net.FaultStats.DupDropped) {
+		t.Errorf("dist.dup_dropped = %d, want %d", got, net.FaultStats.DupDropped)
+	}
+	if got := s.Counters["dist.accusations"]; got != uint64(len(net.Log)) {
+		t.Errorf("dist.accusations = %d, want %d", got, len(net.Log))
+	}
+	if got := s.Gauges["dist.stage1_rounds"]; got != int64(s1) {
+		t.Errorf("dist.stage1_rounds = %d, want %d", got, s1)
+	}
+	if got := s.Gauges["dist.stage2_rounds"]; got != int64(s2) {
+		t.Errorf("dist.stage2_rounds = %d, want %d", got, s2)
+	}
+	if got := s.Gauges["dist.converged"]; got != 1 {
+		t.Errorf("dist.converged = %d, want 1", got)
+	}
+	if got := s.Histograms["dist.round_latency_ns"].Count; got != uint64(net.Rounds) {
+		t.Errorf("round latency count = %d, want %d", got, net.Rounds)
+	}
+	if got := s.Histograms["dist.delivered_per_round"].Count; got != uint64(net.Rounds) {
+		t.Errorf("delivered histogram count = %d, want %d", got, net.Rounds)
+	}
+}
+
+// TestObservabilityAccusationsAndTrace runs the Figure-2 edge-hider
+// attack with the event trace on: the accusation counter and the
+// trace must both carry the detection.
+func TestObservabilityAccusationsAndTrace(t *testing.T) {
+	withObs(t)
+	obs.DefaultTrace.Start(1 << 12)
+	t.Cleanup(obs.DefaultTrace.Stop)
+
+	g := graph.Figure2()
+	behaviors := make([]Behavior, g.N())
+	behaviors[1] = &EdgeHider{Hidden: 4}
+	net := NewNetwork(g, 0, behaviors)
+	net.RunProtocol(200 * g.N())
+	if len(net.Log) == 0 {
+		t.Fatal("edge hider was not accused")
+	}
+
+	s := obs.Default.Snapshot()
+	if got := s.Counters["dist.accusations"]; got != uint64(len(net.Log)) {
+		t.Errorf("dist.accusations = %d, want %d", got, len(net.Log))
+	}
+	var rounds, accuses int
+	for _, e := range obs.DefaultTrace.Events() {
+		switch e.Cat {
+		case "dist.round":
+			rounds++
+		case "dist.accuse":
+			accuses++
+			if e.C != 1 {
+				t.Errorf("accusation trace event names offender %d, want 1", e.C)
+			}
+		}
+	}
+	if rounds == 0 {
+		t.Error("no dist.round trace events recorded")
+	}
+	if accuses == 0 {
+		t.Error("no dist.accuse trace events recorded")
+	}
+}

@@ -1,0 +1,72 @@
+package obs
+
+import "testing"
+
+// TestDisabledPathAllocs is the tentpole's safety property: with the
+// layer disabled (the default), every instrumentation call the hot
+// paths make — counter increments, histogram observations, gauge
+// updates, trace emission — performs zero heap allocations, so
+// core.Solver's 0 allocs/op steady state survives instrumentation.
+// verify.sh runs this with -count=1 so a cached pass can never mask a
+// regression.
+func TestDisabledPathAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are not meaningful under -race")
+	}
+	Disable()
+	r := NewRegistry()
+	c := r.NewCounter("c")
+	g := r.NewGauge("g")
+	h := r.NewHistogram("h", LatencyBuckets())
+	tr := &Trace{}
+	avg := testing.AllocsPerRun(1000, func() {
+		c.Inc()
+		c.Add(3)
+		g.Set(5)
+		g.Add(1)
+		g.SetMax(9)
+		h.Observe(123456)
+		tr.Emit("cat", 1, 2, 3)
+		Emit("cat", 4, 5, 6)
+	})
+	if avg != 0 {
+		t.Fatalf("disabled instrumentation path allocates %.1f allocs/op, want 0", avg)
+	}
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 {
+		t.Fatal("disabled instrumentation recorded values")
+	}
+}
+
+// TestEnabledMetricsAllocs pins the stronger property the metric
+// types are designed for: even when recording, counters, gauges and
+// histograms are pure atomic arithmetic on pre-sized arrays, and ring
+// trace emission overwrites a value-typed slot — still zero
+// allocations. (Latency instrumentation additionally reads the wall
+// clock, which is also allocation-free.)
+func TestEnabledMetricsAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are not meaningful under -race")
+	}
+	Enable()
+	t.Cleanup(Disable)
+	r := NewRegistry()
+	c := r.NewCounter("c")
+	g := r.NewGauge("g")
+	h := r.NewHistogram("h", LatencyBuckets())
+	tr := &Trace{}
+	tr.Start(64)
+	t.Cleanup(tr.Stop)
+	avg := testing.AllocsPerRun(1000, func() {
+		c.Inc()
+		g.Set(5)
+		g.SetMax(9)
+		h.Observe(123456)
+		tr.Emit("cat", 1, 2, 3)
+	})
+	if avg != 0 {
+		t.Fatalf("enabled recording path allocates %.1f allocs/op, want 0", avg)
+	}
+	if c.Value() == 0 || h.Count() == 0 || tr.Total() == 0 {
+		t.Fatal("enabled instrumentation recorded nothing")
+	}
+}

@@ -1,0 +1,73 @@
+package obs
+
+import (
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	httppprof "net/http/pprof"
+	"sync"
+)
+
+// Server is the optional HTTP debug endpoint (-debug-addr). It
+// exposes the default registry and the runtime's own introspection
+// surfaces while a run is in flight:
+//
+//	/metrics      JSON snapshot (WriteJSON)
+//	/metrics.txt  text snapshot (WriteText)
+//	/debug/vars   expvar, including the registry under "truthroute"
+//	/debug/pprof/ the standard pprof index (profile, heap, trace, …)
+type Server struct {
+	URL string // base URL with the resolved port, e.g. after ":0"
+	srv *http.Server
+}
+
+// publishOnce guards the expvar registration: expvar.Publish panics
+// on duplicate names and CLI tests start servers repeatedly in one
+// process.
+var publishOnce sync.Once
+
+// Serve starts a debug server on addr (host:port; port 0 picks a free
+// one). The server runs until Close.
+func Serve(addr string) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: listen %s: %w", addr, err)
+	}
+	publishOnce.Do(func() {
+		expvar.Publish("truthroute", expvar.Func(func() any {
+			return Default.Snapshot()
+		}))
+	})
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		// A write error here means the client hung up mid-response;
+		// there is no one left to report it to.
+		_ = Default.WriteJSON(w)
+	})
+	mux.HandleFunc("/metrics.txt", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_ = Default.WriteText(w)
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", httppprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", httppprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", httppprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", httppprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", httppprof.Trace)
+	s := &Server{
+		URL: "http://" + ln.Addr().String(),
+		srv: &http.Server{Handler: mux},
+	}
+	go func() {
+		// Serve returns http.ErrServerClosed after Close — the normal
+		// shutdown path, not a reportable failure.
+		_ = s.srv.Serve(ln)
+	}()
+	return s, nil
+}
+
+// Close shuts the server down, closing the listener and any open
+// connections.
+func (s *Server) Close() error { return s.srv.Close() }

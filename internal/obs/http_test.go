@@ -1,0 +1,85 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func get(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	//lint:allow errcheck response body close on a test helper cannot lose data
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("reading %s: %v", url, err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func TestServe(t *testing.T) {
+	enableForTest(t)
+	c := NewCounter("obs_http_test.hits")
+	c.Add(42)
+	t.Cleanup(Reset)
+
+	s, err := Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if err := s.Close(); err != nil {
+			t.Errorf("Close: %v", err)
+		}
+	}()
+	if !strings.HasPrefix(s.URL, "http://127.0.0.1:") {
+		t.Fatalf("URL = %q", s.URL)
+	}
+
+	code, body := get(t, s.URL+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics status %d", code)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal([]byte(body), &snap); err != nil {
+		t.Fatalf("/metrics is not JSON: %v\n%s", err, body)
+	}
+	if snap.Counters["obs_http_test.hits"] != 42 {
+		t.Errorf("/metrics counters = %v", snap.Counters)
+	}
+
+	code, body = get(t, s.URL+"/metrics.txt")
+	if code != http.StatusOK || !strings.Contains(body, "obs_http_test.hits 42") {
+		t.Errorf("/metrics.txt status %d body:\n%s", code, body)
+	}
+
+	code, body = get(t, s.URL+"/debug/vars")
+	if code != http.StatusOK || !strings.Contains(body, "\"truthroute\"") {
+		t.Errorf("/debug/vars status %d, truthroute var missing", code)
+	}
+
+	code, _ = get(t, s.URL+"/debug/pprof/")
+	if code != http.StatusOK {
+		t.Errorf("/debug/pprof/ status %d", code)
+	}
+	code, _ = get(t, s.URL+"/debug/pprof/cmdline")
+	if code != http.StatusOK {
+		t.Errorf("/debug/pprof/cmdline status %d", code)
+	}
+	code, _ = get(t, s.URL+"/debug/pprof/symbol")
+	if code != http.StatusOK {
+		t.Errorf("/debug/pprof/symbol status %d", code)
+	}
+}
+
+func TestServeBadAddr(t *testing.T) {
+	if _, err := Serve("500.500.500.500:99999"); err == nil {
+		t.Fatal("Serve on a nonsense address succeeded")
+	}
+}

@@ -1,0 +1,145 @@
+// Package obs is the repository's observability layer: atomic
+// counters, gauges and fixed-bucket histograms, a bounded ring-buffer
+// event trace, and deterministic text/JSON snapshot export — all from
+// the standard library, with an optional expvar/pprof HTTP endpoint.
+//
+// The layer is disabled by default and the disabled path is free:
+// every recording method loads one atomic flag and returns, performing
+// zero heap allocations (TestDisabledPathAllocs pins this, and the
+// core solver's own steady-state alloc gate runs over the instrumented
+// code on every verify.sh run). Enable — or the -metrics/-trace/
+// -debug-addr CLI flags, which call it — turns recording on; the
+// enabled path is still allocation-free for counters, gauges and
+// histograms (atomic operations on pre-sized arrays) and for trace
+// emission (a fixed ring of value-typed events).
+//
+// Metrics are package-global, expvar-style: an instrumented package
+// registers named metrics at init time and the default registry
+// snapshots them on demand. Snapshot export is deterministic — names
+// are emitted in sorted order — so truthlint's determinism analyzer
+// holds over the export path and two snapshots of identical state are
+// byte-identical. Metric values themselves are observations about one
+// process's execution (latencies, pool hits); they never feed back
+// into mechanism output, which is what the repo's determinism
+// discipline protects.
+package obs
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// enabled is the global recording switch; the disabled fast path is a
+// single atomic load in every recording method.
+var enabled atomic.Bool
+
+// Enable turns metric recording on.
+func Enable() { enabled.Store(true) }
+
+// Disable turns metric recording off. Already-recorded values remain
+// readable and snapshottable.
+func Disable() { enabled.Store(false) }
+
+// On reports whether metric recording is enabled. Instrumentation
+// sites that must do extra work to produce an observation (e.g. read
+// the wall clock for a latency) guard on it; plain counter updates
+// just call the recording methods, which check internally.
+func On() bool { return enabled.Load() }
+
+// Registry holds named metrics. Registration is cheap and normally
+// happens once, from package init functions, against Default.
+type Registry struct {
+	mu       sync.Mutex
+	names    map[string]bool
+	counters []*Counter
+	gauges   []*Gauge
+	hists    []*Histogram
+}
+
+// NewRegistry returns an empty registry. Most code uses the
+// package-level Default registry instead.
+func NewRegistry() *Registry {
+	return &Registry{names: map[string]bool{}}
+}
+
+// Default is the process-wide registry the package-level constructors
+// register into and the CLI flags snapshot.
+var Default = NewRegistry()
+
+// claim reserves name, panicking on duplicates — two packages fighting
+// over one metric name is a programming error, caught at init.
+func (r *Registry) claim(name string) {
+	if name == "" {
+		panic("obs: empty metric name")
+	}
+	if r.names[name] {
+		panic("obs: duplicate metric name " + name)
+	}
+	r.names[name] = true
+}
+
+// NewCounter registers and returns a counter.
+func (r *Registry) NewCounter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.claim(name)
+	c := &Counter{name: name}
+	r.counters = append(r.counters, c)
+	return c
+}
+
+// NewGauge registers and returns a gauge.
+func (r *Registry) NewGauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.claim(name)
+	g := &Gauge{name: name}
+	r.gauges = append(r.gauges, g)
+	return g
+}
+
+// NewHistogram registers and returns a histogram with the given
+// bucket upper bounds, which must be finite and strictly increasing;
+// an implicit +Inf overflow bucket is appended.
+func (r *Registry) NewHistogram(name string, bounds []float64) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.claim(name)
+	h := newHistogram(name, bounds)
+	r.hists = append(r.hists, h)
+	return h
+}
+
+// NewCounter registers a counter in the default registry.
+func NewCounter(name string) *Counter { return Default.NewCounter(name) }
+
+// NewGauge registers a gauge in the default registry.
+func NewGauge(name string) *Gauge { return Default.NewGauge(name) }
+
+// NewHistogram registers a histogram in the default registry.
+func NewHistogram(name string, bounds []float64) *Histogram {
+	return Default.NewHistogram(name, bounds)
+}
+
+// Reset zeroes every metric in the registry. The CLI calls it (via
+// the package-level Reset) before an instrumented run so a snapshot
+// describes exactly that run; tests use it for isolation.
+func (r *Registry) Reset() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, c := range r.counters {
+		c.v.Store(0)
+	}
+	for _, g := range r.gauges {
+		g.v.Store(0)
+	}
+	for _, h := range r.hists {
+		h.reset()
+	}
+}
+
+// Reset zeroes the default registry and clears the default trace.
+func Reset() {
+	Default.Reset()
+	DefaultTrace.Reset()
+}

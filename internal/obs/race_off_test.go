@@ -1,0 +1,8 @@
+//go:build !race
+
+package obs
+
+// raceEnabled gates allocation-count assertions: the race detector
+// instruments allocations, so testing.AllocsPerRun is only meaningful
+// without it. Same pattern as internal/core.
+const raceEnabled = false

@@ -1,0 +1,6 @@
+//go:build race
+
+package obs
+
+// raceEnabled gates allocation-count assertions; see race_off_test.go.
+const raceEnabled = true

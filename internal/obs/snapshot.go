@@ -1,0 +1,122 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+)
+
+// Snapshot is a point-in-time copy of every registered metric. JSON
+// encoding is deterministic: encoding/json emits map keys in sorted
+// order, and histogram buckets are in ascending-bound order by
+// construction. Under concurrent recording a snapshot is per-metric
+// atomic (each counter, gauge and bucket is read once) but not a
+// cross-metric transaction — the usual metrics contract.
+type Snapshot struct {
+	Counters   map[string]uint64            `json:"counters"`
+	Gauges     map[string]int64             `json:"gauges"`
+	Histograms map[string]HistogramSnapshot `json:"histograms"`
+}
+
+// HistogramSnapshot is one histogram's state: total observation count
+// and sum plus per-bucket (non-cumulative) counts.
+type HistogramSnapshot struct {
+	Count   uint64   `json:"count"`
+	Sum     float64  `json:"sum"`
+	Buckets []Bucket `json:"buckets"`
+}
+
+// Bucket is one histogram bucket. LE is the inclusive upper bound
+// formatted as a decimal string ("+Inf" for the overflow bucket) —
+// JSON cannot represent infinities as numbers.
+type Bucket struct {
+	LE string `json:"le"`
+	N  uint64 `json:"n"`
+}
+
+func (h *Histogram) snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Sum:     h.Sum(),
+		Buckets: make([]Bucket, len(h.counts)),
+	}
+	for i := range h.counts {
+		n := h.counts[i].Load()
+		s.Count += n
+		le := "+Inf"
+		if i < len(h.bounds) {
+			le = strconv.FormatFloat(h.bounds[i], 'g', -1, 64)
+		}
+		s.Buckets[i] = Bucket{LE: le, N: n}
+	}
+	return s
+}
+
+// Snapshot copies every registered metric's current value.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := Snapshot{
+		Counters:   make(map[string]uint64, len(r.counters)),
+		Gauges:     make(map[string]int64, len(r.gauges)),
+		Histograms: make(map[string]HistogramSnapshot, len(r.hists)),
+	}
+	for _, c := range r.counters {
+		s.Counters[c.name] = c.Value()
+	}
+	for _, g := range r.gauges {
+		s.Gauges[g.name] = g.Value()
+	}
+	for _, h := range r.hists {
+		s.Histograms[h.name] = h.snapshot()
+	}
+	return s
+}
+
+// WriteJSON writes an indented, deterministically ordered JSON
+// snapshot of the registry followed by a newline.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.Snapshot())
+}
+
+// WriteText writes a flat "name value" listing in sorted-name order —
+// the human-facing twin of WriteJSON, one line per counter and gauge
+// and one summary line plus one line per bucket for each histogram.
+func (r *Registry) WriteText(w io.Writer) error {
+	s := r.Snapshot()
+	counters := make([]string, 0, len(s.Counters))
+	for name := range s.Counters {
+		counters = append(counters, name)
+	}
+	sort.Strings(counters)
+	for _, name := range counters {
+		fmt.Fprintf(w, "%s %d\n", name, s.Counters[name])
+	}
+	gauges := make([]string, 0, len(s.Gauges))
+	for name := range s.Gauges {
+		gauges = append(gauges, name)
+	}
+	sort.Strings(gauges)
+	for _, name := range gauges {
+		fmt.Fprintf(w, "%s %d\n", name, s.Gauges[name])
+	}
+	hists := make([]string, 0, len(s.Histograms))
+	for name := range s.Histograms {
+		hists = append(hists, name)
+	}
+	sort.Strings(hists)
+	for _, name := range hists {
+		h := s.Histograms[name]
+		fmt.Fprintf(w, "%s count=%d sum=%g\n", name, h.Count, h.Sum)
+		for _, b := range h.Buckets {
+			if b.N == 0 {
+				continue // keep the text form readable; JSON has every bucket
+			}
+			fmt.Fprintf(w, "%s{le=%s} %d\n", name, b.LE, b.N)
+		}
+	}
+	return nil
+}

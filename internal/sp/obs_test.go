@@ -1,0 +1,46 @@
+package sp
+
+import (
+	"testing"
+
+	"truthroute/internal/graph"
+	"truthroute/internal/obs"
+)
+
+// TestWorkspaceObservability checks the workspace-reuse metrics: one
+// run observation per Dijkstra, touched counts sized by the reachable
+// component, and rollback sizes that track the previous run.
+func TestWorkspaceObservability(t *testing.T) {
+	obs.Reset()
+	obs.Enable()
+	t.Cleanup(func() {
+		obs.Disable()
+		obs.Reset()
+	})
+
+	g := graph.Grid(3, 3) // 9 nodes, fully reachable
+	w := NewWorkspace(g.N())
+	w.NodeDijkstra(g, 0, nil)
+	w.NodeDijkstra(g, 4, nil)
+
+	s := obs.Default.Snapshot()
+	if got := s.Counters["sp.dijkstra_runs"]; got != 2 {
+		t.Errorf("sp.dijkstra_runs = %d, want 2", got)
+	}
+	touched := s.Histograms["sp.touched_nodes"]
+	if touched.Count != 2 {
+		t.Errorf("touched count = %d, want 2", touched.Count)
+	}
+	if touched.Sum != 18 { // both runs touch all 9 nodes
+		t.Errorf("touched sum = %g, want 18", touched.Sum)
+	}
+	rollback := s.Histograms["sp.rollback_nodes"]
+	if rollback.Count != 2 {
+		t.Errorf("rollback count = %d, want 2", rollback.Count)
+	}
+	// First begin() rolls back nothing; the second rolls back the
+	// first run's 9 touched entries.
+	if rollback.Sum != 9 {
+		t.Errorf("rollback sum = %g, want 9", rollback.Sum)
+	}
+}

@@ -101,6 +101,7 @@ func (w *Workspace) Resize(n int) {
 // begin rolls back the previous run's writes and primes the tree for
 // a new source.
 func (w *Workspace) begin(src int) *Tree {
+	obsRollback.Observe(float64(len(w.touched)))
 	t := &w.tree
 	for _, v := range w.touched {
 		t.Dist[v] = Inf
@@ -157,6 +158,8 @@ func (w *Workspace) NodeDijkstra(g *graph.NodeGraph, src int, banned []bool) *Tr
 			}
 		}
 	}
+	obsRuns.Inc()
+	obsTouched.Observe(float64(len(w.touched)))
 	return t
 }
 
@@ -196,5 +199,7 @@ func (w *Workspace) LinkDijkstra(g *graph.LinkGraph, src int, banned []bool, rev
 			}
 		}
 	}
+	obsRuns.Inc()
+	obsTouched.Observe(float64(len(w.touched)))
 	return t
 }

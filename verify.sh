@@ -1,57 +1,153 @@
 #!/bin/sh
-# Full verification: build, vet, the truthlint static-analysis gate,
-# the whole test suite with a ratcheted coverage gate, the race
-# detector over every package, then a short fuzzing smoke over every
-# fuzz target (seeded corpora under testdata/fuzz/ plus 10s of fresh
-# inputs each).
-set -ex
+# Full verification, split into composable stages so CI can run them
+# as separate jobs while `./verify.sh` (no argument, or `all`) still
+# runs everything in order:
+#
+#   ./verify.sh build          go build + go vet
+#   ./verify.sh lint           gofmt, dependency-free go.mod, truthlint (+ bite check)
+#   ./verify.sh test           coverage-gated tests + allocation-regression gates
+#   ./verify.sh race           the race detector over every package
+#   ./verify.sh fuzz [TARGET]  fuzz smoke; one named target, or all of them
+#   ./verify.sh bench          regenerate BENCH_payments.json
+#   ./verify.sh all            every stage above (fuzz runs all targets)
+#
+# Stages fail closed: set -eu everywhere, and the coverage comparison
+# rejects an empty or malformed total instead of waving it through.
+set -eu
 
-go build ./...
-go vet ./...
+stage_build() (
+    set -x
+    go build ./...
+    go vet ./...
+)
 
-# truthlint: project-specific mechanism invariants (determinism,
-# float epsilon discipline, constant-time MAC comparison, panic
-# policy, discarded errors, wire field order). DESIGN.md §8.
-go run ./cmd/truthlint ./...
-# The gate must actually bite: a known-bad fixture has to fail.
-if go run ./cmd/truthlint ./internal/lint/testdata/floatcmp >/dev/null 2>&1; then
-    echo "truthlint: known-bad fixture unexpectedly passed" >&2
-    exit 1
-fi
+stage_lint() {
+    # Formatting gate: gofmt -l prints offending files; any output fails.
+    unformatted=$(gofmt -l .)
+    if [ -n "$unformatted" ]; then
+        echo "gofmt: needs formatting:" >&2
+        echo "$unformatted" >&2
+        exit 1
+    fi
+    echo "gofmt: clean"
 
-# Coverage-gated test run. The threshold only ratchets up: raise it
-# when new tests push the total higher; never lower it to admit an
-# untested change.
-COVER_MIN=93.5
-go test ./... -coverprofile=cover.out -coverpkg=./internal/...,.
-total=$(go tool cover -func=cover.out | awk '/^total:/ {sub(/%/, "", $NF); print $NF}')
-rm -f cover.out
-awk -v t="$total" -v m="$COVER_MIN" 'BEGIN {
-    printf "total coverage %.1f%% (minimum %.1f%%)\n", t, m
-    exit (t + 0 < m + 0) ? 1 : 0
-}'
+    # The module must stay dependency-free: everything builds from the
+    # standard library alone, so a non-empty require block is a policy
+    # violation, not a build problem.
+    if grep -q '^require' go.mod; then
+        echo "go.mod: require block found; the module must stay dependency-free" >&2
+        exit 1
+    fi
+    echo "go.mod: dependency-free"
 
-go test -race ./...
+    # truthlint: project-specific mechanism invariants (determinism,
+    # float epsilon discipline, constant-time MAC comparison, panic
+    # policy, discarded errors, wire field order). DESIGN.md §8.
+    ( set -x; go run ./cmd/truthlint ./... )
+    # The gate must actually bite: a known-bad fixture has to fail.
+    if go run ./cmd/truthlint ./internal/lint/testdata/floatcmp >/dev/null 2>&1; then
+        echo "truthlint: known-bad fixture unexpectedly passed" >&2
+        exit 1
+    fi
+    echo "truthlint: bite check ok"
+}
 
-# Allocation-regression gate: the steady-state zero-alloc guarantees
-# of the pooled solver (DESIGN.md §9) must hold on every run, so force
-# -count=1 — a cached "ok" would let a regression slide through.
-go test ./internal/core/ -run 'TestSolverSteadyStateAllocs|TestSolverConcurrent' -count=1
+stage_test() {
+    # Coverage-gated test run. The threshold only ratchets up: raise it
+    # when new tests push the total higher; never lower it to admit an
+    # untested change.
+    COVER_MIN=93.5
+    trap 'rm -f cover.out' EXIT
+    ( set -x; go test ./... -coverprofile=cover.out -coverpkg=./internal/...,. )
+    total=$(go tool cover -func=cover.out | awk '/^total:/ {sub(/%/, "", $NF); print $NF}')
+    rm -f cover.out
+    trap - EXIT
+    case "$total" in
+        ''|*[!0-9.]*|.|*.*.*)
+            echo "coverage: could not parse total ($total)" >&2
+            exit 1
+            ;;
+    esac
+    awk -v t="$total" -v m="$COVER_MIN" 'BEGIN {
+        printf "total coverage %.1f%% (minimum %.1f%%)\n", t, m
+        exit (t + 0 < m + 0) ? 1 : 0
+    }'
 
-# Bench report: regenerate BENCH_payments.json (ns/op, B/op,
-# allocs/op for the payment, Dijkstra and protocol benchmarks) so
-# allocation regressions show up as artifact diffs. BENCHTIME=1x
-# makes the step cheap when only the alloc columns matter.
-BENCHTIME=${BENCHTIME:-1x}
-go run ./cmd/benchreport -benchtime "$BENCHTIME" -out BENCH_payments.json
+    # Allocation-regression gates: the steady-state zero-alloc
+    # guarantees of the pooled solver (DESIGN.md §9) and the disabled
+    # obs fast path (DESIGN.md §10) must hold on every run, so force
+    # -count=1 — a cached "ok" would let a regression slide through.
+    ( set -x
+      go test ./internal/core/ -run 'TestSolverSteadyStateAllocs|TestSolverConcurrent' -count=1
+      go test ./internal/obs/ -run Alloc -count=1 )
+}
 
-# Fuzz smoke: each target runs its checked-in corpus plus a short
-# burst of fresh inputs. Go allows one -fuzz pattern per invocation.
-FUZZTIME=${FUZZTIME:-10s}
-go test ./internal/oracle/ -fuzz '^FuzzOracleInvariants$' -fuzztime "$FUZZTIME"
-go test ./internal/oracle/ -fuzz '^FuzzOracleEngines$' -fuzztime "$FUZZTIME"
-go test ./internal/graph/ -fuzz '^FuzzReadNodeGraph$' -fuzztime "$FUZZTIME"
-go test ./internal/graph/ -fuzz '^FuzzReadLinkGraph$' -fuzztime "$FUZZTIME"
-go test ./internal/graph/ -fuzz '^FuzzReadEdgeWeighted$' -fuzztime "$FUZZTIME"
-go test ./internal/dist/ -fuzz '^FuzzDecodeMessage$' -fuzztime "$FUZZTIME"
-go test ./internal/wireless/ -fuzz '^FuzzReadDeployment$' -fuzztime "$FUZZTIME"
+stage_race() (
+    set -x
+    go test -race ./...
+)
+
+stage_bench() (
+    # Bench report: regenerate BENCH_payments.json (ns/op, B/op,
+    # allocs/op for the payment, Dijkstra and protocol benchmarks) so
+    # allocation regressions show up as artifact diffs. BENCHTIME=1x
+    # makes the step cheap when only the alloc columns matter.
+    set -x
+    go run ./cmd/benchreport -benchtime "${BENCHTIME:-1x}" -out BENCH_payments.json
+)
+
+# stage_fuzz [TARGET] — each target runs its checked-in corpus plus a
+# short burst of fresh inputs. Go allows one -fuzz pattern per
+# invocation; with no argument every target runs in sequence, with a
+# target name only that one runs (the CI matrix fans out one job per
+# target).
+FUZZ_TARGETS="
+FuzzOracleInvariants:./internal/oracle/
+FuzzOracleEngines:./internal/oracle/
+FuzzReadNodeGraph:./internal/graph/
+FuzzReadLinkGraph:./internal/graph/
+FuzzReadEdgeWeighted:./internal/graph/
+FuzzDecodeMessage:./internal/dist/
+FuzzReadDeployment:./internal/wireless/
+"
+
+stage_fuzz() {
+    FUZZTIME=${FUZZTIME:-10s}
+    want=${1:-}
+    matched=0
+    for entry in $FUZZ_TARGETS; do
+        name=${entry%%:*}
+        pkg=${entry#*:}
+        if [ -n "$want" ] && [ "$want" != "$name" ]; then
+            continue
+        fi
+        matched=1
+        ( set -x; go test "$pkg" -fuzz "^${name}\$" -fuzztime "$FUZZTIME" )
+    done
+    if [ "$matched" -eq 0 ]; then
+        echo "fuzz: unknown target $want (known: $(echo $FUZZ_TARGETS | sed 's/:[^ ]*//g'))" >&2
+        exit 2
+    fi
+}
+
+stage=${1:-all}
+case "$stage" in
+    build) stage_build ;;
+    lint)  stage_lint ;;
+    test)  stage_test ;;
+    race)  stage_race ;;
+    fuzz)  shift; stage_fuzz "${1:-}" ;;
+    bench) stage_bench ;;
+    all)
+        stage_build
+        stage_lint
+        stage_test
+        stage_race
+        stage_bench
+        stage_fuzz
+        ;;
+    *)
+        echo "usage: $0 [build|lint|test|race|fuzz [TARGET]|bench|all]" >&2
+        exit 2
+        ;;
+esac
