@@ -11,6 +11,7 @@ import (
 	"math/rand/v2"
 	"testing"
 
+	"truthroute/internal/auth"
 	"truthroute/internal/core"
 	"truthroute/internal/dist"
 	"truthroute/internal/experiment"
@@ -207,6 +208,42 @@ func BenchmarkProtocolUnderLoss(b *testing.B) {
 			Crashes: []dist.CrashEvent{{Node: 5, At: 6, Recover: 18}}})
 		if _, _, converged := net.RunProtocol(64 * 600); !converged {
 			b.Fatal("no quiescence under loss")
+		}
+	}
+}
+
+// BenchmarkProtocolUnderAdversary prices the whole Byzantine
+// recovery pipeline: a 64-node network with a planted underpayer,
+// signed frames and quorum-1 eviction, run epochally through
+// detection, eviction and self-healing re-convergence (compare
+// against BenchmarkDistributedProtocol for the honest-run cost).
+func BenchmarkProtocolUnderAdversary(b *testing.B) {
+	rng := rand.New(rand.NewPCG(4, 0))
+	g := graph.RandomBiconnected(64, 0.08, rng)
+	g.RandomizeCosts(1, 8, rng)
+	quotes := core.AllUnicastQuotes(g, 0)
+	cheat := -1
+	for v := 1; v < g.N(); v++ {
+		if quotes[v] != nil && len(quotes[v].Path) >= 3 {
+			cheat = v
+			break
+		}
+	}
+	if cheat < 0 {
+		b.Fatal("no relayed source to plant the underpayer at")
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		behaviors := make([]dist.Behavior, g.N())
+		behaviors[cheat] = &dist.Underpayer{Factor: 0.6}
+		net := dist.NewNetwork(g, 0, behaviors)
+		net.EnableSigning(auth.NewKeyring(g.N()))
+		net.EnableEviction(1)
+		if _, _, converged := net.RunProtocolWithEviction(64*50, 4); !converged {
+			b.Fatal("no epochal quiescence under adversary")
+		}
+		if !net.Evicted(cheat) {
+			b.Fatal("underpayer survived the run")
 		}
 	}
 }

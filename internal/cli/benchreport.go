@@ -46,7 +46,7 @@ func RunBenchReport(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("benchreport", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	out := fs.String("out", "BENCH_payments.json", "output JSON file, or - for stdout")
-	bench := fs.String("bench", "BenchmarkPayment|BenchmarkDijkstra|BenchmarkReplacement|BenchmarkAllSources|BenchmarkDistributedProtocol",
+	bench := fs.String("bench", "BenchmarkPayment|BenchmarkDijkstra|BenchmarkReplacement|BenchmarkAllSources|BenchmarkDistributedProtocol|BenchmarkProtocolUnder",
 		"benchmark selection regexp passed to go test -bench")
 	benchtime := fs.String("benchtime", "1s", "per-benchmark time or iteration budget (go test -benchtime)")
 	count := fs.Int("count", 1, "repetitions per benchmark (go test -count)")

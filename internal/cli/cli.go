@@ -266,14 +266,18 @@ func RunDisttrace(args []string, stdout, stderr io.Writer) int {
 	p := fs.Float64("p", 0.2, "chord probability of the random biconnected network")
 	seed := fs.Uint64("seed", 7, "random seed")
 	fixture := fs.String("fixture", "", "use a paper fixture instead: fig2 or fig4")
-	adversary := fs.String("adversary", "", "adversary spec: hider:NODE:HIDDEN, underpay:NODE:FACTOR, mute:NODE, impersonate:NODE:VICTIM")
+	adversary := fs.String("adversary", "", "comma-separated adversary specs: hider:NODE:HIDDEN, underpay:NODE:FACTOR, overpay:NODE:FACTOR, mute:NODE, impersonate:NODE:VICTIM, equivocate:NODE, replay:NODE, tamper:NODE, drop:NODE:VICTIM[+VICTIM...], collude:LEADER:PARTNER:FACTOR")
 	delay := fs.Int("delay", 1, "maximum per-message delay in rounds (async when > 1)")
 	signed := fs.Bool("signed", false, "enable §III.D message signatures")
+	evict := fs.Int("evict", 0, "arm quorum-N accusation eviction and run the epochal protocol (0 = off)")
 	roundlog := fs.Bool("roundlog", false, "print a per-round traffic summary")
 	loss := fs.Float64("loss", 0, "i.i.d. per-frame loss probability in [0,1)")
 	dup := fs.Float64("dup", 0, "per-frame duplication probability in [0,1)")
 	burst := fs.String("burst", "", "Gilbert-Elliott burst loss: PGB:PBG:LOSSGOOD:LOSSBAD")
 	crash := fs.String("crash", "", "crash schedule: NODE:AT:RECOVER[,...] (RECOVER=-1 never)")
+	partition := fs.String("partition", "", "partition schedule: AT:HEAL:V1+V2+...[,...]")
+	jitter := fs.Int("jitter", 0, "extra random per-frame delay in [0,JITTER] rounds")
+	reorder := fs.Bool("reorder", false, "lift the per-channel FIFO clamp (needs -jitter)")
 	obsf := addObsFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -302,23 +306,30 @@ func RunDisttrace(args []string, stdout, stderr io.Writer) int {
 
 	behaviors := make([]dist.Behavior, g.N())
 	if *adversary != "" {
-		node, b, err := ParseAdversary(*adversary)
+		planted, err := ParseAdversaries(*adversary)
 		if err != nil {
 			fmt.Fprintln(stderr, "disttrace:", err)
 			return 2
 		}
-		if node < 0 || node >= g.N() {
-			fmt.Fprintln(stderr, "disttrace: adversary node out of range")
-			return 2
+		nodes := make([]int, 0, len(planted))
+		for node := range planted {
+			nodes = append(nodes, node)
 		}
-		behaviors[node] = b
+		sort.Ints(nodes)
+		for _, node := range nodes {
+			if node < 0 || node >= g.N() {
+				fmt.Fprintln(stderr, "disttrace: adversary node out of range")
+				return 2
+			}
+			behaviors[node] = planted[node]
+		}
 	}
 
 	net := dist.NewNetwork(g, 0, behaviors)
 	if *delay > 1 {
 		net.SetAsync(*delay, *seed)
 	}
-	plan, err := ParseFaultPlan(*loss, *dup, *burst, *crash, *seed)
+	plan, err := ParseFaultPlan(*loss, *dup, *burst, *crash, *partition, *jitter, *reorder, *seed)
 	if err != nil {
 		fmt.Fprintln(stderr, "disttrace:", err)
 		return 2
@@ -332,13 +343,25 @@ func RunDisttrace(args []string, stdout, stderr io.Writer) int {
 	if *signed {
 		net.EnableSigning(auth.NewKeyring(g.N()))
 	}
+	if *evict > 0 {
+		net.EnableEviction(*evict)
+	}
 	if *roundlog {
 		net.SetTrace(stdout)
 	}
-	s1, s2, converged := net.RunProtocol(200 * g.N())
 	fmt.Fprintf(stdout, "network: %d nodes, %d edges, destination 0\n", g.N(), g.M())
-	fmt.Fprintf(stdout, "stage 1 (SPT with mutual correction): %d rounds\n", s1)
-	fmt.Fprintf(stdout, "stage 2 (price relaxation with trigger verification): %d rounds\n", s2)
+	var converged bool
+	if *evict > 0 {
+		rounds, epochs, ok := net.RunProtocolWithEviction(200*g.N(), 6)
+		converged = ok
+		fmt.Fprintf(stdout, "epochal protocol (quorum %d): %d rounds over %d epochs\n",
+			*evict, rounds, epochs)
+	} else {
+		s1, s2, ok := net.RunProtocol(200 * g.N())
+		converged = ok
+		fmt.Fprintf(stdout, "stage 1 (SPT with mutual correction): %d rounds\n", s1)
+		fmt.Fprintf(stdout, "stage 2 (price relaxation with trigger verification): %d rounds\n", s2)
+	}
 	if !converged {
 		fmt.Fprintln(stdout, "WARNING: no quiescence before the round cap; states below are not converged")
 	}
@@ -348,9 +371,23 @@ func RunDisttrace(args []string, stdout, stderr io.Writer) int {
 	if plan != nil {
 		fmt.Fprintf(stdout, "faults: %s\n", net.FaultStats)
 	}
+	if *evict > 0 {
+		if len(net.EvictionLog) == 0 {
+			fmt.Fprintln(stdout, "evictions: none")
+		} else {
+			for _, e := range net.EvictionLog {
+				fmt.Fprintf(stdout, "evicted node %d at round %d (accusers %v)\n",
+					e.Offender, net.EvictionRound(e.Offender), e.Accusers)
+			}
+		}
+	}
 	fmt.Fprintln(stdout)
 	for i, st := range net.States() {
 		if i == 0 {
+			continue
+		}
+		if net.Evicted(i) {
+			fmt.Fprintf(stdout, "node %-3d EVICTED\n", i)
 			continue
 		}
 		fmt.Fprintf(stdout, "node %-3d D=%-8.4g FH=%-3d path=%v\n", i, st.D, st.FH, st.Path)
@@ -374,8 +411,65 @@ func RunDisttrace(args []string, stdout, stderr io.Writer) int {
 	return 0
 }
 
-// ParseAdversary parses a disttrace adversary spec of the form
-// hider:NODE:HIDDEN, underpay:NODE:FACTOR or mute:NODE.
+// ParseAdversaries parses a comma-separated list of adversary specs
+// (see ParseAdversary) into a behavior map keyed by node id. The
+// collude spec is the one entry a single-node parse cannot express —
+// it plants two behaviors sharing state out of band:
+//
+//	collude:LEADER:PARTNER:FACTOR
+//
+// where LEADER underpays by FACTOR and PARTNER shields it.
+func ParseAdversaries(spec string) (map[int]dist.Behavior, error) {
+	out := map[int]dist.Behavior{}
+	place := func(node int, b dist.Behavior) error {
+		if _, dup := out[node]; dup {
+			return fmt.Errorf("two adversaries planted at node %d", node)
+		}
+		out[node] = b
+		return nil
+	}
+	for _, one := range strings.Split(spec, ",") {
+		parts := strings.Split(one, ":")
+		if parts[0] == "collude" {
+			if len(parts) != 4 {
+				return nil, fmt.Errorf("collude needs collude:LEADER:PARTNER:FACTOR")
+			}
+			lead, err1 := strconv.Atoi(parts[1])
+			part, err2 := strconv.Atoi(parts[2])
+			f, err3 := strconv.ParseFloat(parts[3], 64)
+			if err1 != nil || err2 != nil || err3 != nil {
+				return nil, fmt.Errorf("bad collude spec %q", one)
+			}
+			if lead == part {
+				return nil, fmt.Errorf("collude leader and partner must differ")
+			}
+			if f <= 0 || f >= 1 {
+				return nil, fmt.Errorf("collude factor must be in (0,1)")
+			}
+			leader, shield := dist.NewColludingPair(lead, part, f)
+			if err := place(lead, leader); err != nil {
+				return nil, err
+			}
+			if err := place(part, shield); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		node, b, err := ParseAdversary(one)
+		if err != nil {
+			return nil, err
+		}
+		if err := place(node, b); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// ParseAdversary parses a single-node disttrace adversary spec:
+// hider:NODE:HIDDEN, underpay:NODE:FACTOR, overpay:NODE:FACTOR,
+// mute:NODE, impersonate:NODE:VICTIM, equivocate:NODE, replay:NODE,
+// tamper:NODE, or drop:NODE:VICTIM[+VICTIM...].
 func ParseAdversary(spec string) (int, dist.Behavior, error) {
 	parts := strings.Split(spec, ":")
 	atoi := func(s string) (int, error) {
@@ -434,20 +528,82 @@ func ParseAdversary(spec string) (int, dist.Behavior, error) {
 			return 0, nil, err
 		}
 		return node, &dist.Impersonator{Victim: victim}, nil
+	case "overpay":
+		if len(parts) != 3 {
+			return 0, nil, fmt.Errorf("overpay needs overpay:NODE:FACTOR")
+		}
+		node, err := atoi(parts[1])
+		if err != nil {
+			return 0, nil, err
+		}
+		f, err := strconv.ParseFloat(parts[2], 64)
+		if err != nil || f <= 1 {
+			return 0, nil, fmt.Errorf("overpay factor must be > 1")
+		}
+		return node, &dist.Overpayer{Factor: f}, nil
+	case "equivocate":
+		if len(parts) != 2 {
+			return 0, nil, fmt.Errorf("equivocate needs equivocate:NODE")
+		}
+		node, err := atoi(parts[1])
+		if err != nil {
+			return 0, nil, err
+		}
+		return node, &dist.Equivocator{}, nil
+	case "replay":
+		if len(parts) != 2 {
+			return 0, nil, fmt.Errorf("replay needs replay:NODE")
+		}
+		node, err := atoi(parts[1])
+		if err != nil {
+			return 0, nil, err
+		}
+		return node, &dist.Replayer{}, nil
+	case "tamper":
+		if len(parts) != 2 {
+			return 0, nil, fmt.Errorf("tamper needs tamper:NODE")
+		}
+		node, err := atoi(parts[1])
+		if err != nil {
+			return 0, nil, err
+		}
+		return node, &dist.Tamperer{}, nil
+	case "drop":
+		if len(parts) != 3 {
+			return 0, nil, fmt.Errorf("drop needs drop:NODE:VICTIM[+VICTIM...]")
+		}
+		node, err := atoi(parts[1])
+		if err != nil {
+			return 0, nil, err
+		}
+		var victims []int
+		for _, v := range strings.Split(parts[2], "+") {
+			victim, err := atoi(v)
+			if err != nil {
+				return 0, nil, err
+			}
+			victims = append(victims, victim)
+		}
+		return node, &dist.SelectiveDropper{Victims: victims}, nil
 	}
 	return 0, nil, fmt.Errorf("unknown adversary %q", parts[0])
 }
 
 // ParseFaultPlan builds a dist.FaultPlan from the disttrace fault
-// flags (-loss, -dup, -burst, -crash); it returns nil when no fault
-// flag is set. The burst spec is PGB:PBG:LOSSGOOD:LOSSBAD; the crash
-// spec is a comma-separated list of NODE:AT:RECOVER events with
-// RECOVER = -1 meaning the node never comes back.
-func ParseFaultPlan(loss, dup float64, burst, crash string, seed uint64) (*dist.FaultPlan, error) {
-	if loss == 0 && dup == 0 && burst == "" && crash == "" {
+// flags (-loss, -dup, -burst, -crash, -partition, -jitter, -reorder);
+// it returns nil when no fault flag is set. The burst spec is
+// PGB:PBG:LOSSGOOD:LOSSBAD; the crash spec is a comma-separated list
+// of NODE:AT:RECOVER events with RECOVER = -1 meaning the node never
+// comes back; the partition spec is a comma-separated list of
+// AT:HEAL:V1+V2+... events naming one side of the cut.
+func ParseFaultPlan(loss, dup float64, burst, crash, partition string,
+	jitter int, reorder bool, seed uint64) (*dist.FaultPlan, error) {
+	if loss == 0 && dup == 0 && burst == "" && crash == "" &&
+		partition == "" && jitter == 0 && !reorder {
 		return nil, nil
 	}
-	plan := &dist.FaultPlan{Seed: seed, Loss: loss, Dup: dup}
+	plan := &dist.FaultPlan{Seed: seed, Loss: loss, Dup: dup,
+		Jitter: jitter, Reorder: reorder}
 	if burst != "" {
 		parts := strings.Split(burst, ":")
 		if len(parts) != 4 {
@@ -481,6 +637,30 @@ func ParseFaultPlan(loss, dup float64, burst, crash string, seed uint64) (*dist.
 			}
 			plan.Crashes = append(plan.Crashes, dist.CrashEvent{
 				Node: nums[0], At: nums[1], Recover: nums[2],
+			})
+		}
+	}
+	if partition != "" {
+		for _, spec := range strings.Split(partition, ",") {
+			parts := strings.Split(spec, ":")
+			if len(parts) != 3 {
+				return nil, fmt.Errorf("bad -partition event %q: want AT:HEAL:V1+V2+...", spec)
+			}
+			at, err1 := strconv.Atoi(parts[0])
+			heal, err2 := strconv.Atoi(parts[1])
+			if err1 != nil || err2 != nil {
+				return nil, fmt.Errorf("bad -partition event %q", spec)
+			}
+			var side []int
+			for _, s := range strings.Split(parts[2], "+") {
+				v, err := strconv.Atoi(s)
+				if err != nil {
+					return nil, fmt.Errorf("bad -partition side node %q: %v", s, err)
+				}
+				side = append(side, v)
+			}
+			plan.Partitions = append(plan.Partitions, dist.PartitionEvent{
+				At: at, Heal: heal, Side: side,
 			})
 		}
 	}

@@ -157,6 +157,25 @@ func TestDisttraceRandomHonest(t *testing.T) {
 	}
 }
 
+func TestDisttraceEviction(t *testing.T) {
+	var out, errOut strings.Builder
+	code := RunDisttrace([]string{"-fixture", "fig4", "-signed",
+		"-adversary", "underpay:8:0.6", "-evict", "1"}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut.String())
+	}
+	s := out.String()
+	if !strings.Contains(s, "epochal protocol (quorum 1)") {
+		t.Errorf("missing epochal summary: %q", s)
+	}
+	if !strings.Contains(s, "evicted node 8") {
+		t.Errorf("underpayer not reported evicted: %q", s)
+	}
+	if !strings.Contains(s, "node 8   EVICTED") {
+		t.Errorf("missing EVICTED state line: %q", s)
+	}
+}
+
 func TestDisttraceErrors(t *testing.T) {
 	cases := [][]string{
 		{"-fixture", "nope"},
@@ -187,6 +206,73 @@ func TestParseAdversary(t *testing.T) {
 	}
 	if _, _, err := ParseAdversary("hider:a:b"); err == nil {
 		t.Error("non-numeric hider accepted")
+	}
+}
+
+func TestParseAdversaryRoster(t *testing.T) {
+	node, b, err := ParseAdversary("overpay:4:1.6")
+	if err != nil || node != 4 {
+		t.Fatalf("overpay parse: %v %v", node, err)
+	}
+	if o, ok := b.(*dist.Overpayer); !ok || o.Factor != 1.6 {
+		t.Fatalf("overpay behavior: %#v", b)
+	}
+	if _, _, err := ParseAdversary("overpay:4:0.6"); err == nil {
+		t.Error("overpay factor below 1 accepted")
+	}
+	if _, b, err := ParseAdversary("equivocate:2"); err != nil {
+		t.Errorf("equivocate parse: %v", err)
+	} else if _, ok := b.(*dist.Equivocator); !ok {
+		t.Errorf("equivocate behavior: %#v", b)
+	}
+	if _, b, err := ParseAdversary("replay:5"); err != nil {
+		t.Errorf("replay parse: %v", err)
+	} else if _, ok := b.(*dist.Replayer); !ok {
+		t.Errorf("replay behavior: %#v", b)
+	}
+	if _, b, err := ParseAdversary("tamper:3"); err != nil {
+		t.Errorf("tamper parse: %v", err)
+	} else if _, ok := b.(*dist.Tamperer); !ok {
+		t.Errorf("tamper behavior: %#v", b)
+	}
+	_, b, err = ParseAdversary("drop:6:1+4")
+	if err != nil {
+		t.Fatalf("drop parse: %v", err)
+	}
+	if d, ok := b.(*dist.SelectiveDropper); !ok || len(d.Victims) != 2 || d.Victims[1] != 4 {
+		t.Fatalf("drop behavior: %#v", b)
+	}
+	if _, _, err := ParseAdversary("drop:6"); err == nil {
+		t.Error("drop without victims accepted")
+	}
+}
+
+func TestParseAdversariesCollude(t *testing.T) {
+	planted, err := ParseAdversaries("collude:8:1:0.5")
+	if err != nil {
+		t.Fatalf("collude parse: %v", err)
+	}
+	if len(planted) != 2 {
+		t.Fatalf("collude planted %d nodes, want 2", len(planted))
+	}
+	if _, ok := planted[8].(*dist.ColludingLeader); !ok {
+		t.Errorf("leader behavior: %#v", planted[8])
+	}
+	if _, ok := planted[1].(*dist.ColludingPartner); !ok {
+		t.Errorf("partner behavior: %#v", planted[1])
+	}
+	if _, err := ParseAdversaries("collude:3:3:0.5"); err == nil {
+		t.Error("self-collusion accepted")
+	}
+	if _, err := ParseAdversaries("collude:3:4:1.5"); err == nil {
+		t.Error("collude factor above 1 accepted")
+	}
+	multi, err := ParseAdversaries("underpay:3:0.5,mute:4")
+	if err != nil || len(multi) != 2 {
+		t.Fatalf("multi-spec parse: %v %v", multi, err)
+	}
+	if _, err := ParseAdversaries("underpay:3:0.5,mute:3"); err == nil {
+		t.Error("double-planting one node accepted")
 	}
 }
 
@@ -338,13 +424,32 @@ func TestDisttraceFaultFlagErrors(t *testing.T) {
 }
 
 func TestParseFaultPlanNilWhenUnset(t *testing.T) {
-	plan, err := ParseFaultPlan(0, 0, "", "", 1)
+	plan, err := ParseFaultPlan(0, 0, "", "", "", 0, false, 1)
 	if plan != nil || err != nil {
 		t.Errorf("empty flags produced %+v, %v", plan, err)
 	}
-	plan, err = ParseFaultPlan(0, 0, "", "4:6:20,7:9:-1", 1)
+	plan, err = ParseFaultPlan(0, 0, "", "4:6:20,7:9:-1", "", 0, false, 1)
 	if err != nil || len(plan.Crashes) != 2 || plan.Crashes[1].Recover != -1 {
 		t.Errorf("crash spec parse: %+v, %v", plan, err)
+	}
+}
+
+func TestParseFaultPlanPartitionJitter(t *testing.T) {
+	plan, err := ParseFaultPlan(0, 0, "", "", "5:20:1+2+3,30:40:4", 2, true, 1)
+	if err != nil {
+		t.Fatalf("partition spec parse: %v", err)
+	}
+	if len(plan.Partitions) != 2 || plan.Partitions[0].Heal != 20 ||
+		len(plan.Partitions[0].Side) != 3 || plan.Partitions[1].Side[0] != 4 {
+		t.Errorf("partition events: %+v", plan.Partitions)
+	}
+	if plan.Jitter != 2 || !plan.Reorder {
+		t.Errorf("jitter/reorder: %+v", plan)
+	}
+	for _, bad := range []string{"5:20", "a:20:1", "5:20:x"} {
+		if _, err := ParseFaultPlan(0, 0, "", "", bad, 0, false, 1); err == nil {
+			t.Errorf("bad partition spec %q accepted", bad)
+		}
 	}
 }
 

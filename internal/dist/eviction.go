@@ -1,0 +1,405 @@
+package dist
+
+// This file closes the accusation loop. The paper's Algorithm 2
+// detects deviations (stage-1 mutual correction, stage-2 trigger
+// verification) and §III.H floods signed accusations — but detection
+// without consequence leaves the mechanism exactly where it started:
+// quotes silently degrade while the cheater keeps relaying. Here the
+// simulator aggregates accusations per offender, convicts on a quorum
+// of distinct live accusers, and *evicts*: the offender is silenced,
+// every live node patches its topology view (Behavior.Evict) and the
+// protocol re-converges on the reduced graph — the reputation-based
+// exclusion MANET routing systems apply to selfish nodes.
+//
+// Evictions are applied at *epoch boundaries* (RunProtocolWithEviction),
+// never mid-round: a quiescent network has nothing in flight, so the
+// restart is clean and the healed run's payments are bit-identical to
+// a from-scratch solve on the evicted topology (the acceptance oracle
+// of the adversary campaign). Mid-run behaviour of RunProtocol is
+// untouched — eviction is off until EnableEviction, so every legacy
+// run replays bit-for-bit.
+//
+// The file also hosts the link layer's replay hardening: a
+// generation high-water window per (claimed sender, receiver, kind)
+// channel rejects frames whose Gen regressed — the signed-but-stale
+// replay attack signatures alone cannot stop. The window runs
+// whenever eviction is armed or a fault plan is installed; honest
+// traffic never trips it (the ARQ sequence space already serializes
+// delivery per channel and kind in emission order, and a node's
+// generation is monotone over its emissions, reboots included).
+
+import (
+	"slices"
+
+	"truthroute/internal/graph"
+	"truthroute/internal/obs"
+)
+
+// simAccuser attributes an accusation the simulator itself raised
+// (physical-layer evidence: forged frames, replay streaks, protocol
+// violations caught at delivery). It counts as one accuser toward the
+// quorum and is omitted from EvictionNotice.Accusers.
+const simAccuser = -1
+
+// EnableEviction arms quorum-based eviction: once at least quorum
+// distinct live accusers (or the simulator, on physical evidence)
+// have accused a node, the next epoch boundary evicts it. Must be
+// called before the first round. Accusations already carry signed
+// evidence the flooding verifies (§III.H), so quorum 1 is sound
+// against individual cheaters; raise it when accusers themselves may
+// be adversarial (a colluding accuser cannot frame an honest node
+// alone).
+func (n *Network) EnableEviction(quorum int) {
+	if quorum < 1 {
+		panic("dist: eviction quorum must be >= 1")
+	}
+	if n.Rounds > 0 || len(n.pending) > 0 {
+		panic("dist: EnableEviction must be called before the first round")
+	}
+	n.quorum = quorum
+	n.evicted = make([]bool, n.G.N())
+	n.accusers = map[int]map[int]bool{}
+	n.nbView = map[int][]int{}
+	n.evictedAt = map[int]int{}
+}
+
+// EvictionEnabled reports whether EnableEviction has armed the layer.
+func (n *Network) EvictionEnabled() bool { return n.quorum > 0 }
+
+// evictionsArmed is the internal alias used by the admission filter
+// and the accusation bookkeeping.
+func (n *Network) evictionsArmed() bool { return n.quorum > 0 }
+
+// Evicted reports whether v has been evicted.
+func (n *Network) Evicted(v int) bool { return n.evicted != nil && n.evicted[v] }
+
+// EvictedSet returns the evicted node ids, sorted ascending.
+func (n *Network) EvictedSet() []int {
+	var out []int
+	for v, e := range n.evicted {
+		if e {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// EvictionRound returns the round at which v was evicted, or -1.
+func (n *Network) EvictionRound(v int) int {
+	if at, ok := n.evictedAt[v]; ok {
+		return at
+	}
+	return -1
+}
+
+// recordAccusation appends to the public ledger and, when eviction is
+// armed, credits the accuser toward the offender's quorum.
+func (n *Network) recordAccusation(accuser int, a Accusation) {
+	n.Log = append(n.Log, a)
+	if priceCheatKind(a.Kind) {
+		n.priceSuspect = true
+	}
+	obsAccusations.Inc()
+	obs.Emit("dist.accuse", int64(n.Rounds), int64(accuser), int64(a.Offender))
+	if n.accusers == nil {
+		return
+	}
+	set := n.accusers[a.Offender]
+	if set == nil {
+		set = map[int]bool{}
+		n.accusers[a.Offender] = set
+	}
+	set[accuser] = true
+}
+
+// applyQuorum convicts accused nodes whose distinct live accuser
+// count reached the quorum, evicts them, and returns the newly
+// evicted ids sorted ascending. The destination is never evicted — it
+// anchors the SPT, and an adversary that could talk a quorum into
+// evicting it would win by definition; its accusation record stays in
+// the ledger for the operator to see.
+//
+// Convictions are annulment-aware (the paper's §III.H audit: "all
+// nodes must keep a record of messages ... so that an audit can be
+// performed later"). A price cheat poisons its neighbours' derived
+// entries and can then "report" the very discrepancy it manufactured,
+// so testimony is weighed: a suspect (any node at quorum on raw
+// counts) is *firmly* convicted only on accusations from accusers
+// that are neither evicted nor suspects themselves — independent
+// witnesses — or from the simulator's physical-layer evidence. A
+// suspect propped up only by fellow suspects is spared this epoch;
+// once its accusers are evicted their testimony carries no standing,
+// so a framed honest node is never evicted while a real cheater —
+// accused by at least one honest witness — always is.
+func (n *Network) applyQuorum() []int {
+	if !n.evictionsArmed() {
+		return nil
+	}
+	standing := func(offender int, exclude map[int]bool) int {
+		live := 0
+		for acc := range n.accusers[offender] {
+			if acc == simAccuser {
+				live++
+				continue
+			}
+			if acc == offender || n.evicted[acc] || exclude[acc] {
+				continue
+			}
+			live++
+		}
+		return live
+	}
+	suspects := map[int]bool{}
+	for offender := range n.accusers {
+		if offender == n.Dest || n.evicted[offender] {
+			continue
+		}
+		if standing(offender, nil) >= n.quorum {
+			suspects[offender] = true
+		}
+	}
+	var newly []int
+	for offender := range suspects {
+		// Discount fellow suspects; what remains is independent
+		// testimony. (Voiding a convict's word only shrinks support,
+		// so a single pass over the suspect set is already the
+		// fixpoint.)
+		if standing(offender, suspects) >= n.quorum {
+			newly = append(newly, offender)
+		}
+	}
+	slices.Sort(newly)
+	for _, v := range newly {
+		n.evictNode(v)
+	}
+	return newly
+}
+
+// evictNode performs one eviction: mark, log, invalidate the filtered
+// neighbour cache, and clear ARQ slots touching the node so its
+// channels stop being repaired.
+func (n *Network) evictNode(v int) {
+	n.evicted[v] = true
+	n.evictedAt[v] = n.Rounds
+	accs := make([]int, 0, len(n.accusers[v]))
+	for a := range n.accusers[v] {
+		if a != simAccuser {
+			accs = append(accs, a)
+		}
+	}
+	slices.Sort(accs)
+	n.EvictionLog = append(n.EvictionLog, EvictionNotice{Offender: v, Accusers: accs})
+	obsEvictions.Inc()
+	obs.Emit("dist.evict", int64(n.Rounds), int64(v), int64(len(accs)))
+	n.nbView = map[int][]int{}
+	if f := n.faults; f != nil {
+		for k := range f.unacked {
+			if k.from == v || k.to == v {
+				delete(f.unacked, k)
+			}
+		}
+	}
+}
+
+// RunProtocolWithEviction runs Algorithm 2 in epochs: each epoch is a
+// full RunProtocol pass (maxRounds per stage); at the boundary the
+// accusation ledger is evaluated against the quorum, newly convicted
+// offenders are evicted, every live node patches its topology view
+// (Behavior.Evict) and drops back to stage 1 (Refresh), and the next
+// epoch re-converges routes and payments on the reduced graph. The
+// loop ends when an epoch adds no eviction; converged then reports
+// whether that final epoch went quiet. An epoch that does *not*
+// converge can still evict — a chattering adversary keeps its own
+// epoch noisy, which is precisely when eviction is needed — so
+// non-convergence only terminates the run once the ledger has gone
+// quiet too. Nodes disconnected from the destination by an eviction
+// keep D = +Inf: the degraded-mode answer is "unreachable", never a
+// price computed through an evicted relay.
+func (n *Network) RunProtocolWithEviction(maxRounds, maxEpochs int) (rounds, epochs int, converged bool) {
+	if !n.evictionsArmed() {
+		panic("dist: RunProtocolWithEviction requires EnableEviction")
+	}
+	for epochs < maxEpochs {
+		s1, s2, ok := n.RunProtocol(maxRounds)
+		rounds += s1 + s2
+		epochs++
+		converged = ok
+		newly := n.applyQuorum()
+		// The quorum audit has ruled on every flooded accusation:
+		// convicted offenders are evicted, the rest are annulled. Lift
+		// the price-audit hold so the next epoch's from-scratch
+		// re-solve is graded with live audits again.
+		n.priceSuspect = false
+		if len(newly) == 0 {
+			return rounds, epochs, converged
+		}
+		for i, b := range n.Nodes {
+			if n.evicted[i] || (n.faults != nil && n.faults.crashed[i]) {
+				continue
+			}
+			for _, v := range newly {
+				b.Evict(v)
+			}
+			b.Refresh()
+		}
+	}
+	return rounds, epochs, false
+}
+
+// EvictedTopology returns the graph the surviving protocol is
+// effectively running on: the same nodes and costs, with every edge
+// touching an evicted node removed (evicted nodes stay as isolated
+// vertices so ids line up). This is the from-scratch oracle input for
+// checking that post-eviction payments are bit-identical to a
+// centralized solve.
+func (n *Network) EvictedTopology() *graph.NodeGraph {
+	g := graph.NewNodeGraph(n.G.N())
+	for v := 0; v < n.G.N(); v++ {
+		g.SetCost(v, n.G.Cost(v))
+	}
+	for _, e := range n.G.Edges() {
+		if n.Evicted(e[0]) || n.Evicted(e[1]) {
+			continue
+		}
+		g.AddEdge(e[0], e[1])
+	}
+	return g
+}
+
+// replayKey identifies one generation-monotonicity channel: the
+// claimed sender (generations are a property of the announced state,
+// not of the radio), the receiver, and the frame kind.
+type replayKey struct {
+	from, to, kind int
+}
+
+// replayWindow is the link layer's generation high-water filter: per
+// channel, the generation of admitted frames must never regress. A
+// frame that carries an older generation than one already admitted is
+// a replay — an honest sender's generations are monotone over its
+// emissions (route changes and reboots both bump the boot-counter
+// generation) and the ARQ layer delivers per channel and kind in
+// emission order, so only re-injected old frames can trip the window.
+type replayWindow struct {
+	high map[replayKey]int
+}
+
+func newReplayWindow() *replayWindow {
+	return &replayWindow{high: map[replayKey]int{}}
+}
+
+// admit reports whether a frame with generation gen may pass on
+// channel k, raising the high-water mark when it does. Rejected
+// frames leave the mark unchanged.
+func (w *replayWindow) admit(k replayKey, gen int) bool {
+	if h, ok := w.high[k]; ok && gen < h {
+		return false
+	}
+	w.high[k] = gen
+	return true
+}
+
+// frameGen extracts the generation a message claims, if its kind
+// carries one (corrections do not: they are one-shot instructions,
+// already serialized by the ARQ layer).
+func frameGen(m *Message) (int, bool) {
+	switch {
+	case m.SPT != nil:
+		return m.SPT.Gen, true
+	case m.Price != nil:
+		return m.Price.Gen, true
+	}
+	return 0, false
+}
+
+// replayGuardActive reports whether the generation window filters
+// arrivals. It runs whenever eviction is armed or a fault plan is
+// installed, and stays off on plain reliable runs so the unsigned
+// impersonation demonstrations keep their meaning (forged frames
+// carry generation zero and would otherwise be filtered before the
+// protocol ever saw the attack).
+func (n *Network) replayGuardActive() bool {
+	return n.evictionsArmed() || n.faults != nil
+}
+
+// admit is the last admission filter before a frame reaches its
+// Behavior: frames claiming an evicted sender are suppressed, and —
+// when the replay guard is active — frames whose generation regressed
+// below the channel's high-water mark are rejected and traced.
+func (n *Network) admit(to int, m Message) (Message, bool) {
+	if n.evicted != nil && m.From >= 0 && m.From < len(n.evicted) && n.evicted[m.From] {
+		n.DroppedEvicted++
+		obsDroppedEvicted.Inc()
+		return Message{}, false
+	}
+	if !n.replayGuardActive() {
+		return m, true
+	}
+	gen, ok := frameGen(&m)
+	if !ok {
+		return m, true
+	}
+	if n.replay == nil {
+		n.replay = newReplayWindow()
+	}
+	if !n.replay.admit(replayKey{from: m.From, to: to, kind: kindOf(&m)}, gen) {
+		n.DroppedStale++
+		obsDroppedStale.Inc()
+		obs.Emit("dist.stale", int64(n.Rounds), int64(m.From), int64(to))
+		n.noteStale(m.From, to)
+		return Message{}, false
+	}
+	return m, true
+}
+
+// noteStale tracks per-channel replay streaks. One stale frame can in
+// principle be an exotic reordering artifact; a streak that outlives
+// the correction grace is a node re-injecting recorded traffic, and
+// when eviction is armed the simulator accuses on the receiver's
+// behalf (the evidence is physical: each rejected frame carried a
+// valid signature over an old generation).
+func (n *Network) noteStale(from, to int) {
+	if !n.evictionsArmed() {
+		return
+	}
+	if n.staleSeen == nil {
+		n.staleSeen = map[[2]int]int{}
+		n.staleAccused = map[[2]int]bool{}
+	}
+	ch := [2]int{from, to}
+	n.staleSeen[ch]++
+	if n.staleSeen[ch] > n.CorrectionGrace() && !n.staleAccused[ch] {
+		n.staleAccused[ch] = true
+		n.recordAccusation(to, Accusation{
+			Offender: from,
+			Kind:     "replayed stale-generation frames",
+		})
+	}
+}
+
+// noteForged tracks per-channel signature-failure streaks (the frame
+// was already dropped and counted by verified). A lone failure says
+// little; a streak beyond the grace window means the transmitter keeps
+// putting frames on the air whose signatures do not match their
+// payloads — a Tamperer — and when eviction is armed the simulator
+// accuses on the receiver's behalf. The transmitter, not the claimed
+// sender, is the offender: the radio medium tells us who actually
+// sent the bits.
+func (n *Network) noteForged(phys, to int) {
+	if !n.evictionsArmed() {
+		return
+	}
+	if n.forgedSeen == nil {
+		n.forgedSeen = map[[2]int]int{}
+		n.forgedAccused = map[[2]int]bool{}
+	}
+	ch := [2]int{phys, to}
+	n.forgedSeen[ch]++
+	if n.forgedSeen[ch] > n.CorrectionGrace() && !n.forgedAccused[ch] {
+		n.forgedAccused[ch] = true
+		n.recordAccusation(to, Accusation{
+			Offender: phys,
+			Kind:     "transmitted forged or tampered frames",
+		})
+	}
+}

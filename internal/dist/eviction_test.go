@@ -1,0 +1,421 @@
+package dist
+
+import (
+	"math"
+	"testing"
+
+	"truthroute/internal/auth"
+	"truthroute/internal/core"
+	"truthroute/internal/graph"
+)
+
+// armEviction wires the standard adversary-campaign harness: signed
+// frames (§III.D) and quorum-1 eviction.
+func armEviction(g *graph.NodeGraph, behaviors []Behavior) *Network {
+	net := NewNetwork(g, 0, behaviors)
+	net.EnableSigning(auth.NewKeyring(g.N()))
+	net.EnableEviction(1)
+	return net
+}
+
+// runEvictionScenario runs the epochal protocol and asserts the
+// campaign acceptance invariants: exactly the planted offenders are
+// evicted, every accusation in the ledger names a planted offender
+// (zero false accusations), and the final epoch went quiet.
+func runEvictionScenario(t *testing.T, net *Network, planted ...int) {
+	t.Helper()
+	rounds, epochs, converged := net.RunProtocolWithEviction(400, 6)
+	if !converged {
+		t.Fatalf("final epoch did not quiesce (rounds=%d epochs=%d)", rounds, epochs)
+	}
+	plantedSet := map[int]bool{}
+	for _, v := range planted {
+		plantedSet[v] = true
+	}
+	got := net.EvictedSet()
+	if len(got) != len(planted) {
+		t.Fatalf("evicted %v, want exactly %v", got, planted)
+	}
+	for _, v := range got {
+		if !plantedSet[v] {
+			t.Fatalf("honest node %d evicted (evicted set %v, planted %v)", v, got, planted)
+		}
+		if net.EvictionRound(v) <= 0 {
+			t.Errorf("evicted node %d has no eviction round", v)
+		}
+	}
+	for _, a := range net.Log {
+		if !plantedSet[a.Offender] {
+			t.Errorf("false accusation against honest node: %v", a)
+		}
+	}
+	for _, e := range net.EvictionLog {
+		if !plantedSet[e.Offender] {
+			t.Errorf("eviction notice for honest node: %v", e)
+		}
+	}
+}
+
+// checkHealedPrices compares every surviving honest node's converged
+// state with a from-scratch centralized solve on the evicted
+// topology — the self-healing oracle. A source the evictions
+// disconnected must answer degraded mode: D = +Inf and no prices,
+// never a price computed through an evicted relay.
+func checkHealedPrices(t *testing.T, net *Network, skip ...int) {
+	t.Helper()
+	skipSet := map[int]bool{}
+	for _, v := range skip {
+		skipSet[v] = true
+	}
+	quotes := core.AllUnicastQuotes(net.EvictedTopology(), 0)
+	for i := 1; i < net.G.N(); i++ {
+		if net.Evicted(i) || skipSet[i] {
+			continue
+		}
+		st := net.States()[i]
+		q := quotes[i]
+		if q == nil {
+			if !math.IsInf(st.D, 1) {
+				t.Errorf("node %d: unreachable after eviction but D = %v", i, st.D)
+			}
+			if len(st.Prices) != 0 {
+				t.Errorf("node %d: unreachable after eviction but holds prices %v", i, st.Prices)
+			}
+			continue
+		}
+		if !almostEqual(st.D, q.Cost) {
+			t.Errorf("node %d: healed D = %v, centralized %v", i, st.D, q.Cost)
+		}
+		if len(st.Prices) != len(q.Payments) {
+			t.Errorf("node %d: %d price entries, centralized %d (%v vs %v)",
+				i, len(st.Prices), len(q.Payments), st.Prices, q.Payments)
+			continue
+		}
+		for k, want := range q.Payments {
+			if got, ok := st.Prices[k]; !ok || !almostEqual(got, want) {
+				t.Errorf("node %d: healed p^%d = %v, centralized %v", i, k, got, want)
+			}
+		}
+	}
+}
+
+func TestEvictUnderpayerHealsPrices(t *testing.T) {
+	g := graph.Figure4()
+	behaviors := make([]Behavior, g.N())
+	behaviors[8] = &Underpayer{Factor: 0.6}
+	net := armEviction(g, behaviors)
+	runEvictionScenario(t, net, 8)
+	checkHealedPrices(t, net)
+}
+
+func TestEvictOverpayerHealsPrices(t *testing.T) {
+	g := graph.Figure4()
+	behaviors := make([]Behavior, g.N())
+	behaviors[8] = &Overpayer{Factor: 1.6}
+	net := armEviction(g, behaviors)
+	runEvictionScenario(t, net, 8)
+	checkHealedPrices(t, net)
+	found := false
+	for _, a := range net.Log {
+		if a.Offender == 8 && a.Kind == "overstated price entry" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no overstatement accusation in log: %v", net.Log)
+	}
+}
+
+func TestEvictEquivocatorHealsPrices(t *testing.T) {
+	g := graph.Figure2()
+	behaviors := make([]Behavior, g.N())
+	behaviors[4] = &Equivocator{}
+	net := armEviction(g, behaviors)
+	runEvictionScenario(t, net, 4)
+	checkHealedPrices(t, net)
+	// With the cheap chain's v4 gone, v1's best route is the direct
+	// v5 relay at price 5 — the self-healed economy.
+	if d := net.States()[1].D; !almostEqual(d, 4) {
+		t.Errorf("healed D(v1) = %v, want 4 (route via v5)", d)
+	}
+}
+
+func TestEvictReplayerHealsPrices(t *testing.T) {
+	g := graph.Figure2()
+	behaviors := make([]Behavior, g.N())
+	behaviors[4] = &Replayer{}
+	net := armEviction(g, behaviors)
+	runEvictionScenario(t, net, 4)
+	checkHealedPrices(t, net)
+	if net.DroppedStale == 0 {
+		t.Error("replayed frames were not rejected by the generation window")
+	}
+	found := false
+	for _, a := range net.Log {
+		if a.Offender == 4 && a.Kind == "replayed stale-generation frames" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no replay accusation in log: %v", net.Log)
+	}
+}
+
+func TestEvictTampererHealsPrices(t *testing.T) {
+	g := graph.Figure2()
+	behaviors := make([]Behavior, g.N())
+	behaviors[4] = &Tamperer{}
+	net := armEviction(g, behaviors)
+	runEvictionScenario(t, net, 4)
+	checkHealedPrices(t, net)
+	if net.DroppedForged == 0 {
+		t.Error("tampered frames were not dropped by signature verification")
+	}
+	found := false
+	for _, a := range net.Log {
+		if a.Offender == 4 && a.Kind == "transmitted forged or tampered frames" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no forgery accusation in log: %v", net.Log)
+	}
+}
+
+func TestEvictSelectiveDropperHealsPrices(t *testing.T) {
+	g := threeRoutes()
+	behaviors := make([]Behavior, g.N())
+	// Node 5's strictly cheapest route runs through node 1; dropping
+	// node 1's frames (announcements and corrections alike) silently
+	// degrades its own route onto the pricier hub and leaves node 1's
+	// corrections unanswered past the grace window.
+	behaviors[5] = &SelectiveDropper{Victims: []int{1}}
+	net := armEviction(g, behaviors)
+	runEvictionScenario(t, net, 5)
+	checkHealedPrices(t, net)
+}
+
+func TestEvictColludingPairBothConvicted(t *testing.T) {
+	g := graph.Figure4()
+	behaviors := make([]Behavior, g.N())
+	// Leader v8 underpays; partner v1 (its first hop) shields it and,
+	// once the quorum convicts the leader anyway, props up the ghost
+	// by pinning its own route through it. The evicted-citation audit
+	// catches the propping, so the partner follows in the next epoch.
+	leader, partner := NewColludingPair(8, 1, 0.5)
+	behaviors[8], behaviors[1] = leader, partner
+	net := armEviction(g, behaviors)
+	runEvictionScenario(t, net, 8, 1)
+	checkHealedPrices(t, net)
+	if r8, r1 := net.EvictionRound(8), net.EvictionRound(1); r8 >= r1 {
+		t.Errorf("leader evicted at round %d, partner at %d; want leader first", r8, r1)
+	}
+}
+
+// degradedGraph: dest 0; node 2 relays for node 3, which has no other
+// neighbour, so evicting 2 strands 3.
+func degradedGraph() *graph.NodeGraph {
+	g := graph.NewNodeGraph(5)
+	for _, e := range [][2]int{{1, 0}, {2, 1}, {2, 4}, {4, 0}, {3, 2}} {
+		g.AddEdge(e[0], e[1])
+	}
+	g.SetCosts([]float64{0, 1, 1, 1, 5})
+	return g
+}
+
+// TestEvictionDisconnectsDegradedMode: when the only route to a
+// source ran through the evicted cheater, the degraded-mode answer is
+// "unreachable" (D = +Inf, no prices) — never a price computed
+// through the ghost.
+func TestEvictionDisconnectsDegradedMode(t *testing.T) {
+	g := degradedGraph()
+	behaviors := make([]Behavior, g.N())
+	behaviors[2] = &Underpayer{Factor: 0.5}
+	net := armEviction(g, behaviors)
+	runEvictionScenario(t, net, 2)
+	checkHealedPrices(t, net)
+	if st := net.States()[3]; !math.IsInf(st.D, 1) || st.FH != -1 || len(st.Prices) != 0 {
+		t.Errorf("stranded node 3 not in degraded mode: %+v", st)
+	}
+}
+
+// evictForger broadcasts a forged eviction notice every round: an
+// attempt to evict an honest node by fiat instead of by quorum.
+type evictForger struct {
+	HonestNode
+}
+
+func (f *evictForger) Step(round int, inbox []Message) []Message {
+	out := f.HonestNode.Step(round, inbox)
+	return append(out, Message{From: f.self, To: Broadcast,
+		Evict: &EvictionNotice{Offender: 2, Accusers: []int{f.self}}})
+}
+
+// TestForgedEvictionNoticeConvictsSender: eviction verdicts are issued
+// by quorum at epoch boundaries, never by individual nodes; emitting
+// one on the data channel is a protocol violation that convicts the
+// forger — and never its target.
+func TestForgedEvictionNoticeConvictsSender(t *testing.T) {
+	g := graph.Figure2()
+	behaviors := make([]Behavior, g.N())
+	behaviors[6] = &evictForger{}
+	net := armEviction(g, behaviors)
+	runEvictionScenario(t, net, 6)
+	checkHealedPrices(t, net)
+	if net.Violations == 0 {
+		t.Error("forged eviction notices not counted as violations")
+	}
+	if net.Evicted(2) {
+		t.Error("the forgery's target was evicted")
+	}
+}
+
+// TestMuteNotEvicted: silence is indistinguishable from absence, so a
+// mute node is routed and priced around but never accused or evicted
+// — accusing absence would make every crash a conviction.
+func TestMuteNotEvicted(t *testing.T) {
+	g := threeRoutes()
+	behaviors := make([]Behavior, g.N())
+	behaviors[1] = &Mute{}
+	net := armEviction(g, behaviors)
+	rounds, epochs, converged := net.RunProtocolWithEviction(400, 3)
+	if !converged {
+		t.Fatalf("mute run did not quiesce (rounds=%d epochs=%d)", rounds, epochs)
+	}
+	if len(net.Log) != 0 {
+		t.Errorf("mute node drew accusations: %v", net.Log)
+	}
+	if got := net.EvictedSet(); len(got) != 0 {
+		t.Errorf("evicted %v in a run with no evictable evidence", got)
+	}
+	// The economy the survivors converge to is that of the topology
+	// without the mute node's links.
+	reduced := g.Clone()
+	for _, nb := range append([]int(nil), reduced.Neighbors(1)...) {
+		reduced.RemoveEdge(1, nb)
+	}
+	quotes := core.AllUnicastQuotes(reduced, 0)
+	for i := 2; i < g.N(); i++ {
+		st := net.States()[i]
+		q := quotes[i]
+		if q == nil {
+			continue
+		}
+		if !almostEqual(st.D, q.Cost) {
+			t.Errorf("node %d: D = %v, want %v (mute removed)", i, st.D, q.Cost)
+		}
+		for k, want := range q.Payments {
+			if got, ok := st.Prices[k]; !ok || !almostEqual(got, want) {
+				t.Errorf("node %d: p^%d = %v, want %v (mute removed)", i, k, got, want)
+			}
+		}
+	}
+}
+
+func TestEnableEvictionValidation(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	g := graph.Figure2()
+	net := NewNetwork(g, 0, nil)
+	mustPanic("quorum 0", func() { net.EnableEviction(0) })
+	mustPanic("unarmed RunProtocolWithEviction", func() { net.RunProtocolWithEviction(10, 1) })
+	net.RunRound()
+	mustPanic("EnableEviction after first round", func() { net.EnableEviction(1) })
+}
+
+func TestEvictionAccessorsAndTopology(t *testing.T) {
+	g := graph.Figure2()
+	net := armEviction(g, nil)
+	if !net.EvictionEnabled() {
+		t.Fatal("eviction not enabled")
+	}
+	if net.EvictionRound(4) != -1 {
+		t.Errorf("EvictionRound before any eviction = %d, want -1", net.EvictionRound(4))
+	}
+	net.evictNode(4)
+	if !net.Evicted(4) || len(net.EvictedSet()) != 1 {
+		t.Fatalf("evictNode did not mark node 4 (set %v)", net.EvictedSet())
+	}
+	for _, nb := range net.Neighbors(1) {
+		if nb == 4 {
+			t.Error("evicted node still visible in Neighbors")
+		}
+	}
+	pruned := net.EvictedTopology()
+	if pruned.N() != g.N() {
+		t.Fatalf("EvictedTopology resized the graph: %d nodes", pruned.N())
+	}
+	if pruned.HasEdge(1, 4) || pruned.HasEdge(3, 4) {
+		t.Error("EvictedTopology kept edges of the evicted node")
+	}
+	if !pruned.HasEdge(1, 5) || pruned.Cost(5) != g.Cost(5) {
+		t.Error("EvictedTopology dropped surviving edges or costs")
+	}
+}
+
+func TestReplayWindowAdmission(t *testing.T) {
+	w := newReplayWindow()
+	k := replayKey{from: 1, to: 2, kind: kindSPT}
+	for _, tc := range []struct {
+		gen  int
+		want bool
+	}{
+		{3, true},  // fresh channel admits any generation
+		{3, true},  // same generation re-admitted (dedup is the ARQ's job)
+		{2, false}, // regression rejected
+		{5, true},  // raise the mark
+		{4, false}, // old mark does not count
+		{5, true},
+	} {
+		if got := w.admit(k, tc.gen); got != tc.want {
+			t.Errorf("admit(gen=%d) = %v, want %v", tc.gen, got, tc.want)
+		}
+	}
+	// Channels are independent per (from, to, kind).
+	if !w.admit(replayKey{from: 1, to: 2, kind: kindPrice}, 0) {
+		t.Error("separate kind shares the high-water mark")
+	}
+	if !w.admit(replayKey{from: 2, to: 1, kind: kindSPT}, 0) {
+		t.Error("reverse channel shares the high-water mark")
+	}
+	if w.admit(k, 1) {
+		t.Error("independent channels disturbed the original mark")
+	}
+}
+
+// FuzzReplayWindow drives the generation window with arbitrary
+// operation streams and checks it against a reference model: a frame
+// is admitted iff its generation has not regressed below the
+// channel's high-water mark, and the mark only ever rises.
+func FuzzReplayWindow(f *testing.F) {
+	f.Add([]byte{0x01, 3, 0x01, 2, 0x11, 7, 0x01, 3})
+	f.Add([]byte{0xff, 0, 0x00, 255, 0xff, 1})
+	f.Fuzz(func(t *testing.T, ops []byte) {
+		w := newReplayWindow()
+		model := map[replayKey]int{}
+		for i := 0; i+1 < len(ops); i += 2 {
+			k := replayKey{
+				from: int(ops[i] & 0x3),
+				to:   int(ops[i] >> 2 & 0x3),
+				kind: int(ops[i] >> 4 & 0x3),
+			}
+			gen := int(ops[i+1])
+			high, seen := model[k]
+			want := !seen || gen >= high
+			if got := w.admit(k, gen); got != want {
+				t.Fatalf("op %d: admit(%+v, %d) = %v, want %v (high %d seen %v)",
+					i/2, k, gen, got, want, high, seen)
+			}
+			if want && (!seen || gen > high) {
+				model[k] = gen
+			}
+		}
+	})
+}

@@ -94,6 +94,16 @@ type CrashEvent struct {
 	Node, At, Recover int
 }
 
+// PartitionEvent splits the network from round At (inclusive) to
+// round Heal (exclusive): every transmission crossing the cut — one
+// endpoint in Side, the other outside it — is lost, data frames and
+// acknowledgements alike. The ARQ layer keeps retransmitting across
+// the cut and repairs the exchange once the partition heals.
+type PartitionEvent struct {
+	At, Heal int
+	Side     []int
+}
+
 // FaultPlan describes the faults to inject into one run. All
 // randomness derives from Seed, so a plan replays bit-for-bit.
 type FaultPlan struct {
@@ -109,6 +119,18 @@ type FaultPlan struct {
 	Dup float64
 	// Crashes is the node crash/recover schedule.
 	Crashes []CrashEvent
+	// Partitions is the network-split schedule; transmissions crossing
+	// an active cut are lost until the partition heals.
+	Partitions []PartitionEvent
+	// Jitter > 0 adds a random extra delay in [0, Jitter] rounds to
+	// every successfully transmitted frame (bounded-delay channels).
+	Jitter int
+	// Reorder lifts the per-channel FIFO clamp, so jittered frames may
+	// overtake each other on the same channel. Sound under the ARQ
+	// layer: the per-channel per-kind sequence space delivers frames
+	// to the protocol in emission order regardless of arrival order
+	// (late-arriving older frames are discarded as stale).
+	Reorder bool
 }
 
 // lossy reports whether the plan can ever drop or duplicate a frame.
@@ -145,6 +167,11 @@ func (p *FaultPlan) lastEventRound() int {
 			last = c.Recover
 		}
 	}
+	for _, pe := range p.Partitions {
+		if pe.Heal > last {
+			last = pe.Heal
+		}
+	}
 	return last
 }
 
@@ -163,6 +190,18 @@ func (p *FaultPlan) graceSlack() int {
 	}
 	if p.lossy() {
 		s += lossGraceSlack
+	}
+	// A correction cannot cross an active cut: every partition's full
+	// span (plus the repair round trip around it) must fit inside the
+	// grace window. Spans are summed — partitions may overlap in time
+	// with a correction epoch back to back.
+	for _, pe := range p.Partitions {
+		s += pe.Heal - pe.At + crashGraceSlack
+	}
+	// Jittered frames arrive up to Jitter rounds late in each
+	// direction of the correction round trip.
+	if p.Jitter > 0 {
+		s += 2*p.Jitter + 4
 	}
 	return s
 }
@@ -211,6 +250,28 @@ func (p *FaultPlan) validate(n, dest int) {
 			bad("crash of node %d recovers at %d, not after %d", c.Node, c.Recover, c.At)
 		}
 	}
+	for _, pe := range p.Partitions {
+		if pe.At < 1 {
+			bad("partition round %d must be >= 1", pe.At)
+		}
+		if pe.Heal <= pe.At {
+			bad("partition heals at %d, not after %d", pe.Heal, pe.At)
+		}
+		if len(pe.Side) == 0 || len(pe.Side) >= n {
+			bad("partition side must be a proper non-empty node subset")
+		}
+		for _, v := range pe.Side {
+			if v < 0 || v >= n {
+				bad("partition node %d out of range", v)
+			}
+		}
+	}
+	if p.Jitter < 0 {
+		bad("Jitter must be >= 0")
+	}
+	if p.Reorder && p.Jitter == 0 {
+		bad("Reorder without Jitter reorders nothing")
+	}
 }
 
 // FaultStats counts what the injected faults and the ARQ layer did.
@@ -223,6 +284,8 @@ type FaultStats struct {
 	DroppedAcks int
 	// CrashDropped counts frames that arrived at a crashed radio.
 	CrashDropped int
+	// PartitionDropped counts data frames lost to an active cut.
+	PartitionDropped int
 	// DupInjected/DupDropped count duplicated deliveries and the
 	// receiver-side discards (duplicates plus retransmitted frames
 	// that had in fact arrived).
@@ -237,9 +300,9 @@ func (s FaultStats) DroppedData() int {
 }
 
 func (s FaultStats) String() string {
-	return fmt.Sprintf("dropped %d spt + %d price + %d correction frames, %d acks; %d crash-dropped; %d dups injected, %d duplicates discarded; %d retransmissions",
+	return fmt.Sprintf("dropped %d spt + %d price + %d correction frames, %d acks; %d crash-dropped; %d partition-cut; %d dups injected, %d duplicates discarded; %d retransmissions",
 		s.DroppedSPT, s.DroppedPrice, s.DroppedCorrect, s.DroppedAcks,
-		s.CrashDropped, s.DupInjected, s.DupDropped, s.Retransmissions)
+		s.CrashDropped, s.PartitionDropped, s.DupInjected, s.DupDropped, s.Retransmissions)
 }
 
 // chKey identifies one sequence space: a directed physical channel
@@ -283,6 +346,28 @@ type faultState struct {
 	// the newest hold instead of resuming early.
 	stage2At   map[int][]int
 	stage2Hold map[int]int
+	// parts are the partition windows with their side membership
+	// precomputed as a bitmap.
+	parts []partWindow
+}
+
+// partWindow is one PartitionEvent with its side precomputed.
+type partWindow struct {
+	at, heal int
+	side     []bool
+}
+
+// cut reports whether a transmission between a and b at the given
+// round crosses an active partition. Pure membership tests — no RNG
+// is consumed, so a plan without partitions replays bit-identically
+// to one predating the feature.
+func (f *faultState) cut(a, b, round int) bool {
+	for _, p := range f.parts {
+		if round >= p.at && round < p.heal && p.side[a] != p.side[b] {
+			return true
+		}
+	}
+	return false
 }
 
 // SetFaults installs a fault plan. Must be called before the first
@@ -317,6 +402,13 @@ func (n *Network) SetFaults(p *FaultPlan) {
 		if c.Recover > c.At {
 			f.recoverAt[c.Recover] = append(f.recoverAt[c.Recover], c.Node)
 		}
+	}
+	for _, pe := range p.Partitions {
+		side := make([]bool, n.G.N())
+		for _, v := range pe.Side {
+			side[v] = true
+		}
+		f.parts = append(f.parts, partWindow{at: pe.At, heal: pe.Heal, side: side})
 	}
 	n.faults = f
 }
@@ -356,9 +448,16 @@ func (f *faultState) dropFrame(from, to int) bool {
 
 // rto0 and rtoCap bound the retransmission clock: the initial
 // timeout gives a frame and its ack time to cross even at the
-// maximum async delay; the cap keeps repair attempts frequent enough
-// that the CorrectionGrace window admits many of them.
-func (n *Network) rto0() int   { return n.maxDelay + 2 }
+// maximum async delay plus the plan's jitter; the cap keeps repair
+// attempts frequent enough that the CorrectionGrace window admits
+// many of them.
+func (n *Network) rto0() int {
+	j := 0
+	if n.faults != nil {
+		j = n.faults.plan.Jitter
+	}
+	return n.maxDelay + j + 2
+}
 func (n *Network) rtoCap() int { return 4 * n.rto0() }
 
 // resyncDelay is how long a node recovering mid-stage-2 keeps to
@@ -487,6 +586,14 @@ func (n *Network) sendFrame(k chKey, e *txEntry) {
 	e.lastSent = n.Rounds
 	n.Messages++
 	obsSentByKind(k.kind)
+	if f.cut(k.from, k.to, n.Rounds) {
+		// An active partition swallows the transmission before the
+		// loss model gets a say (and without consuming its RNG).
+		n.FaultStats.PartitionDropped++
+		obsPartitionDropped.Inc()
+		obsDroppedByKind(k.kind)
+		return
+	}
 	if f.dropFrame(k.from, k.to) {
 		switch k.kind {
 		case kindSPT:
@@ -512,19 +619,28 @@ func (n *Network) sendFrame(k chKey, e *txEntry) {
 // receive filters one arriving frame: crashed radios hear nothing,
 // duplicates and stale frames are discarded (but still acknowledged
 // — the sender is missing an ack, not the data), and fresh frames
-// are acknowledged and handed to the protocol.
+// pass the admission filter (eviction + replay window, eviction.go)
+// before reaching the protocol.
 func (n *Network) receive(to int, fr frame) (Message, bool) {
 	f := n.faults
 	if f == nil {
-		return fr.msg, true
+		return n.admit(to, fr.msg)
 	}
 	if f.crashed[to] {
 		n.FaultStats.CrashDropped++
 		obsCrashDropped.Inc()
 		return Message{}, false
 	}
+	if f.cut(fr.phys, to, n.Rounds) {
+		// The frame was in flight when the partition opened; it still
+		// has to cross the cut link now, and cannot. ARQ retransmits
+		// it once the partition heals.
+		n.FaultStats.PartitionDropped++
+		obsPartitionDropped.Inc()
+		return Message{}, false
+	}
 	if !fr.arq {
-		return fr.msg, true
+		return n.admit(to, fr.msg)
 	}
 	k := chKey{from: fr.phys, to: to, kind: fr.kind}
 	fresh := fr.seq > f.rxSeq[k]
@@ -538,7 +654,11 @@ func (n *Network) receive(to int, fr frame) (Message, bool) {
 	// ACK returns within SIFS, far below protocol-round granularity)
 	// unless the reverse channel drops it or the sender is down.
 	if !f.crashed[fr.phys] {
-		if f.dropFrame(to, fr.phys) {
+		if f.cut(to, fr.phys, n.Rounds) {
+			// The reverse channel is cut too: the ack cannot cross.
+			n.FaultStats.DroppedAcks++
+			obsDroppedAcks.Inc()
+		} else if f.dropFrame(to, fr.phys) {
 			n.FaultStats.DroppedAcks++
 			obsDroppedAcks.Inc()
 		} else if e := f.unacked[k]; e != nil && e.seq <= fr.seq {
@@ -548,7 +668,7 @@ func (n *Network) receive(to int, fr frame) (Message, bool) {
 	if !fresh {
 		return Message{}, false
 	}
-	return fr.msg, true
+	return n.admit(to, fr.msg)
 }
 
 // transmitARQ enters one point-to-point frame into the ARQ layer:

@@ -62,6 +62,22 @@ type HonestNode struct {
 	// grace becomes an accusation. Without faults verification stays
 	// immediate and this map is unused.
 	violStreak map[[2]int]int
+
+	// overStreak is the overstatement counterpart: entries claiming us
+	// as the trigger that sit *above* our recomputed candidate. Unlike
+	// understatement it is always grace-gated — a stale-higher entry
+	// is a legitimate transient on any channel (the announcer simply
+	// has not re-relaxed against our latest state yet), so only a
+	// value that never heals is a price inflater.
+	overStreak map[[2]int]int
+
+	// evictCited marks neighbours whose latest stored announcement or
+	// correction routed through an evicted node; the audit loop
+	// streaks it per round (evictCitedStreak) and accuses past the
+	// grace window — citing a ghost is how a colluder keeps an evicted
+	// partner in the economy.
+	evictCited       map[int]bool
+	evictCitedStreak map[int]int
 }
 
 // Init implements Behavior.
@@ -75,6 +91,9 @@ func (h *HonestNode) Init(self int, net *Network) {
 	h.nbFH = map[int]int{}
 	h.nbGen = map[int]int{}
 	h.violStreak = map[[2]int]int{}
+	h.overStreak = map[[2]int]int{}
+	h.evictCited = map[int]bool{}
+	h.evictCitedStreak = map[int]int{}
 	h.pendingCorrection = map[int]bool{}
 	h.pendingOffer = map[int]float64{}
 	h.correctionStreak = map[int]int{}
@@ -90,6 +109,64 @@ func (h *HonestNode) Init(self int, net *Network) {
 
 // State implements Behavior.
 func (h *HonestNode) State() *NodeState { return &h.st }
+
+// Evict implements Behavior: offender has been removed by quorum.
+// Everything learned from it — and everything learned from neighbours
+// whose announced routes ran through it — is poisoned and dropped; if
+// our own route used it, we fall back to no-route and rebuild through
+// stage-1 repair. resetPrices opens a new generation, so post-eviction
+// announcements are never confused with the pre-eviction economy.
+func (h *HonestNode) Evict(o int) {
+	delete(h.nbD, o)
+	delete(h.nbPath, o)
+	delete(h.nbFH, o)
+	delete(h.nbGen, o)
+	delete(h.lastAnnounced, o)
+	delete(h.pendingCorrection, o)
+	delete(h.pendingOffer, o)
+	delete(h.correctionStreak, o)
+	delete(h.evictCited, o)
+	delete(h.evictCitedStreak, o)
+	for j, p := range h.nbPath {
+		if j != o && !slices.Contains(p, o) && h.nbFH[j] != o {
+			continue
+		}
+		delete(h.nbD, j)
+		delete(h.nbPath, j)
+		delete(h.nbFH, j)
+		delete(h.nbGen, j)
+		delete(h.lastAnnounced, j)
+	}
+	if h.self == h.net.Dest {
+		h.dirty = true
+		return
+	}
+	if h.st.FH == o || slices.Contains(h.st.Path, o) {
+		h.st.D = Inf
+		h.st.FH = -1
+		h.st.Path = nil
+	}
+	h.resetPrices()
+	h.dirty = true
+}
+
+// citesEvicted reports whether an announced route runs through an
+// evicted node — state no honest node would hold after processing its
+// Evict notifications.
+func (h *HonestNode) citesEvicted(fh int, path []int) bool {
+	if !h.net.EvictionEnabled() {
+		return false
+	}
+	if fh >= 0 && h.net.Evicted(fh) {
+		return true
+	}
+	for _, v := range path {
+		if h.net.Evicted(v) {
+			return true
+		}
+	}
+	return false
+}
 
 // nbCost returns the relaying cost of a neighbour in distance
 // calculations; the access point terminates routes and relays
@@ -174,6 +251,12 @@ func (h *HonestNode) handleStage1(inbox []Message) []Message {
 	for _, m := range inbox {
 		switch {
 		case m.Correct != nil:
+			if h.citesEvicted(m.From, m.Correct.Path) {
+				// An instruction routing us through a ghost: refuse it
+				// and remember who offered (audited below).
+				h.evictCited[m.From] = true
+				continue
+			}
 			// A neighbour with a better (or authoritative, if it is
 			// our first hop) route instructs us over the reliable
 			// channel; honest nodes comply (Algorithm 2, stage 1).
@@ -183,6 +266,15 @@ func (h *HonestNode) handleStage1(inbox []Message) []Message {
 		case m.SPT != nil:
 			a := m.SPT
 			j := m.From
+			if h.citesEvicted(a.FH, a.Path) {
+				// Refuse to even store the announcement: adopting (or
+				// relaxing through) a route that runs over an evicted
+				// node would reopen the hole eviction just closed.
+				h.evictCited[j] = true
+				continue
+			}
+			delete(h.evictCited, j)
+			delete(h.evictCitedStreak, j)
 			//lint:allow floatcmp change detection on verbatim-copied replica state, not on recomputed arithmetic
 			if h.nbD[j] != a.D || h.nbFH[j] != a.FH {
 				// The neighbour's state moved: any running correction
@@ -278,6 +370,34 @@ func (h *HonestNode) handleStage1(inbox []Message) []Message {
 			D:    h.st.D + h.net.Cost(h.self),
 			Path: slices.Clone(h.st.Path),
 		}})
+	}
+	// Audit evicted-route citations like pending corrections: the
+	// streak advances every round the neighbour's latest word remains
+	// poisoned (a clean announcement resets it above), and escalates
+	// past the grace window — a node that *keeps* routing through a
+	// ghost is propping up an evicted partner, not lagging on gossip.
+	// verifyPending keeps the network active while the verdict pends,
+	// so a colluder cannot dodge by falling silent.
+	cited := make([]int, 0, len(h.evictCited))
+	for j := range h.evictCited {
+		cited = append(cited, j)
+	}
+	slices.Sort(cited)
+	for _, j := range cited {
+		if h.accused[j] {
+			delete(h.evictCited, j)
+			continue
+		}
+		h.evictCitedStreak[j]++
+		if h.evictCitedStreak[j] > h.net.CorrectionGrace() {
+			delete(h.evictCited, j)
+			h.accused[j] = true
+			acc := Accusation{Offender: j, Kind: "routed through evicted node"}
+			h.st.Accusations = append(h.st.Accusations, acc)
+			out = append(out, Message{From: h.self, To: Broadcast, Accuse: &acc})
+			continue
+		}
+		h.net.verifyPending++
 	}
 	return out
 }
@@ -411,6 +531,15 @@ func (h *HonestNode) candidateVia(j, k int) float64 {
 	if j == k {
 		return Inf // a detour through k cannot avoid k
 	}
+	// Note an accused j is deliberately NOT quarantined here: dropping
+	// its announcements as a relaxation basis removes the finite anchor
+	// of every entry it supported, and the remaining mutually-
+	// referential candidates climb forever — count-to-infinity on the
+	// price plane, which keeps the epoch from ever quiescing. The
+	// poisoned fixpoint is tolerated instead: audits network-wide are
+	// suspended the moment the accusation floods (priceAuditsSuspended),
+	// the epoch settles, and the next epoch re-solves from scratch on
+	// the evicted topology.
 	var dj float64
 	if j == h.net.Dest {
 		dj = 0
@@ -498,7 +627,23 @@ func (h *HonestNode) handleStage2(inbox []Message) []Message {
 	if math.IsInf(h.st.D, 1) {
 		return out
 	}
+	if h.net.priceAuditsSuspended() {
+		// A price-cheat accusation stands unresolved (§III.H flooded it
+		// to everyone): the price plane is poisoned at a known source,
+		// and it stays poisoned until the epoch audit removes the
+		// source — entries echoing the live cheater's deflated data
+		// can never heal, no grace period is long enough, and grading
+		// them would frame honest relays one after another until a web
+		// of mutual suspicion annuls the one testimony that matters.
+		// Fresh verdicts wait for the next epoch's from-scratch
+		// re-solve on clean data; the flooded accusation already meets
+		// the quorum the record audit needs.
+		clear(h.violStreak)
+		clear(h.overStreak)
+		return out
+	}
 	seen := map[[2]int]bool{}
+	overSeen := map[[2]int]bool{}
 	nbs := make([]int, 0, len(h.lastAnnounced))
 	for j := range h.lastAnnounced {
 		nbs = append(nbs, j)
@@ -539,7 +684,7 @@ func (h *HonestNode) handleStage2(inbox []Message) []Message {
 				exp = h.net.Cost(k) + base
 			}
 			if pa.Prices[k] < exp-1e-6 {
-				if h.net.FaultsEnabled() {
+				if h.net.FaultsEnabled() || len(h.accused) > 0 || h.net.accusationsLive() {
 					// The entry was computed from what j knew of our
 					// state when it relaxed; while crashed routes are
 					// being repaired that knowledge may trail our own
@@ -548,17 +693,45 @@ func (h *HonestNode) handleStage2(inbox []Message) []Message {
 					// our announcements land and j re-relaxes — so
 					// accuse only a violation that outlives the same
 					// grace stage-1 corrections get. verifyPending
-					// keeps the network active while we wait.
+					// keeps the network active while we wait. The same
+					// trailing-knowledge transient appears on reliable
+					// channels once anyone stands accused (§III.H
+					// floods make that global knowledge): quarantining
+					// auditors' entries rise (candidateVia), and the
+					// stale lower copies derived from them heal one
+					// relaxation hop per delivery — so the grace also
+					// applies whenever the accusation ledger is live.
 					key := [2]int{j, k}
 					seen[key] = true
 					h.violStreak[key]++
-					if h.violStreak[key] <= h.net.CorrectionGrace() {
+					if h.violStreak[key] <= h.net.priceAuditGrace() {
 						h.net.verifyPending++
 						continue
 					}
 				}
 				h.accused[j] = true
 				acc := Accusation{Offender: j, Kind: "understated price entry"}
+				h.st.Accusations = append(h.st.Accusations, acc)
+				out = append(out, Message{From: h.self, To: Broadcast, Accuse: &acc})
+			} else if !math.IsInf(pa.Prices[k], 1) && pa.Prices[k] > exp+1e-6 {
+				// Overstated: the entry sits above what j could have
+				// computed from our state — a price inflater trying to
+				// widen its take. Unlike understatement this is always
+				// grace-gated, on any channel: an honest stale-higher
+				// entry is a routine transient (j has not re-relaxed
+				// against our latest announcement yet) that heals
+				// within a delivery round trip; only a value that
+				// never comes down is a cheat. (+Inf is initialization,
+				// not a price.)
+				key := [2]int{j, k}
+				overSeen[key] = true
+				h.overStreak[key]++
+				if h.overStreak[key] <= h.net.priceAuditGrace() {
+					h.net.verifyPending++
+					continue
+				}
+				h.accused[j] = true
+				acc := Accusation{Offender: j, Kind: "overstated price entry"}
 				h.st.Accusations = append(h.st.Accusations, acc)
 				out = append(out, Message{From: h.self, To: Broadcast, Accuse: &acc})
 			}
@@ -568,6 +741,11 @@ func (h *HonestNode) handleStage2(inbox []Message) []Message {
 	for key := range h.violStreak {
 		if !seen[key] {
 			delete(h.violStreak, key)
+		}
+	}
+	for key := range h.overStreak {
+		if !overSeen[key] {
+			delete(h.overStreak, key)
 		}
 	}
 	return out

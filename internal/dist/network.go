@@ -37,6 +37,7 @@ import (
 	"io"
 	"math"
 	"math/rand/v2"
+	"slices"
 	"time"
 
 	"truthroute/internal/auth"
@@ -58,6 +59,7 @@ type Message struct {
 	Price    *PriceAnnounce
 	Correct  *Correction
 	Accuse   *Accusation
+	Evict    *EvictionNotice
 	Sig      []byte
 }
 
@@ -80,9 +82,25 @@ type SPTAnnounce struct {
 	// sequence space). Receivers use it to pair price announcements
 	// with the SPT state they were computed under — under faults a
 	// price announcement is only meaningful against the matching
-	// generation.
+	// generation, and the link layer's replay window (eviction.go)
+	// rejects frames whose generation regressed below the channel's
+	// high-water mark.
 	Gen  int
 	Path []int // sender → ... → 0; nil until a route is known
+}
+
+// Clone returns a deep copy. Adversaries that perturb an announcement
+// must clone it first: the honest core retains references to the maps
+// and the path slice it announced, so mutating the original in place
+// would corrupt the adversary's own replica state (and, in-process,
+// the copies other nodes hold).
+func (a *SPTAnnounce) Clone() *SPTAnnounce {
+	if a == nil {
+		return nil
+	}
+	out := *a
+	out.Path = slices.Clone(a.Path)
+	return &out
 }
 
 // PriceAnnounce is a stage-2 advertisement of the sender's current
@@ -97,6 +115,29 @@ type PriceAnnounce struct {
 	Gen      int
 	Prices   map[int]float64 // relay k → p_sender^k
 	Triggers map[int]int     // relay k → neighbour that produced it
+}
+
+// Clone returns a deep copy of the announcement. Every adversary that
+// perturbs a price announcement must clone before mutating: the maps
+// are shared with the honest core's own state (announcePrices copies
+// entry values, but adversaries historically rebuilt the maps by hand
+// and were one forgotten loop away from aliasing the originals).
+func (pa *PriceAnnounce) Clone() *PriceAnnounce {
+	if pa == nil {
+		return nil
+	}
+	out := &PriceAnnounce{
+		Gen:      pa.Gen,
+		Prices:   make(map[int]float64, len(pa.Prices)),
+		Triggers: make(map[int]int, len(pa.Triggers)),
+	}
+	for k, p := range pa.Prices {
+		out.Prices[k] = p
+	}
+	for k, tr := range pa.Triggers {
+		out.Triggers[k] = tr
+	}
+	return out
 }
 
 // Correction is Algorithm 2 stage 1's direct "reliable and secure
@@ -119,6 +160,23 @@ func (a Accusation) String() string {
 	return fmt.Sprintf("node %d accused: %s", a.Offender, a.Kind)
 }
 
+// EvictionNotice is the gossip record of a quorum eviction: Offender
+// was removed from the protocol on the strength of accusations by
+// Accusers (sorted ascending, simulator-raised verdicts omitted). It
+// has a wire encoding (tag 'e') so the eviction gossip §III.H implies
+// can be fuzzed and replayed; in-process the simulator applies
+// evictions centrally at epoch boundaries (eviction.go), so a
+// Behavior that emits one on the data channel is attempting to evict
+// by fiat — a protocol violation, intercepted at delivery.
+type EvictionNotice struct {
+	Offender int
+	Accusers []int
+}
+
+func (e EvictionNotice) String() string {
+	return fmt.Sprintf("node %d evicted by quorum of %d", e.Offender, len(e.Accusers))
+}
+
 // Behavior is a node's protocol implementation. HonestNode follows
 // Algorithm 2; adversary.go provides deviants. Step is called once
 // per round with the messages delivered this round; returned
@@ -136,6 +194,10 @@ type Behavior interface {
 	// Refresh drops back to stage 1 and forces a re-announcement —
 	// how the network reacts to a changed declaration (ReDeclare).
 	Refresh()
+	// Evict informs the node that offender was removed by quorum
+	// (eviction.go): it must purge offender from its topology view and
+	// drop any learned state that routed through it.
+	Evict(offender int)
 	// State exposes the node's current routing state for inspection.
 	State() *NodeState
 }
@@ -234,6 +296,43 @@ type Network struct {
 	// the network active even when no messages flow, so the round loop
 	// cannot quiesce out from under an unresolved violation.
 	verifyPending int
+
+	// Eviction machinery (eviction.go). quorum is the number of
+	// distinct live accusers needed to evict (0 = eviction disabled,
+	// the default — legacy runs are bit-identical); evicted marks
+	// removed nodes; accusers aggregates the ledger per offender;
+	// nbView caches the eviction-filtered neighbour view.
+	quorum    int
+	evicted   []bool
+	accusers  map[int]map[int]bool
+	nbView    map[int][]int
+	evictedAt map[int]int
+	// priceSuspect records that a price-cheat accusation (understated
+	// or overstated entry) has been flooded and not yet resolved by an
+	// epoch-boundary quorum audit; while it stands, stage-2 price
+	// audits are suspended network-wide (priceAuditsSuspended).
+	priceSuspect bool
+	// EvictionLog records every eviction in order.
+	EvictionLog []EvictionNotice
+	// DroppedEvicted counts frames suppressed because an endpoint was
+	// evicted (in-flight stragglers and broadcast legs).
+	DroppedEvicted int
+
+	// Replay hardening (eviction.go). replay is the per-channel
+	// generation high-water window, active whenever eviction is armed
+	// or a fault plan is installed; DroppedStale counts frames it
+	// rejected.
+	replay       *replayWindow
+	DroppedStale int
+	staleSeen    map[[2]int]int
+	staleAccused map[[2]int]bool
+	// forgedSeen tracks per (transmitter, receiver) channel how many
+	// signature failures accumulated; a streak beyond the grace window
+	// becomes an accusation when eviction is armed (a forged frame is
+	// physical-layer evidence, so the simulator raises it on the
+	// receiver's behalf).
+	forgedSeen    map[[2]int]int
+	forgedAccused map[[2]int]bool
 }
 
 // NewNetwork builds a network over g towards dest. behaviors may be
@@ -290,6 +389,51 @@ func (n *Network) CorrectionGrace() int {
 	return g
 }
 
+// priceAuditGrace is the verification grace for stage-2 price audits
+// (understatement and overstatement streaks). Unlike a stage-1
+// correction — a direct exchange between two neighbours — a price
+// entry derives transitively: a perturbation (a cheater's deflated
+// announcement, or the rise when an auditor quarantines one) heals one
+// relaxation hop per delivery round trip, so an honest entry can trail
+// its clean value for a horizon that scales with the longest
+// derivation chain, bounded by the node count. Grading the audit on
+// the per-link grace alone would convict honest nodes mid-heal.
+func (n *Network) priceAuditGrace() int {
+	return n.CorrectionGrace() + 2*n.G.N()
+}
+
+// accusationsLive reports whether any accusation has been flooded.
+// §III.H floods accusations to every node, so "someone stands accused"
+// is global knowledge — and it means the price economy may be
+// mid-repair: auditors quarantine the accused (candidateVia), entries
+// derived from its announcements rise back toward their clean values,
+// and stale lower copies propagate outward for a few delivery round
+// trips. Audits run during that window must grade on the transitive
+// grace rather than fire immediately.
+func (n *Network) accusationsLive() bool { return len(n.Log) > 0 }
+
+// priceAuditsSuspended reports whether stage-2 price audits are on
+// hold network-wide. The hold starts when a price-cheat accusation is
+// flooded (§III.H makes that global knowledge) and lifts when the
+// epoch-boundary quorum audit rules on the ledger (eviction.go). The
+// rationale: a live price cheat continuously re-poisons derivation
+// chains through every node that has not caught it first-hand, so
+// honest entries echoing its data can never heal while it remains —
+// no finite grace distinguishes them from cheats. Auditing through
+// that poison frames honest relays one after another until a web of
+// mutual suspicion annuls the only testimony that matters; the first
+// flooded accusation already meets the quorum, and any further cheats
+// are re-detected on the next epoch's clean re-solve. In runs without
+// eviction the hold simply freezes the ledger at first detection —
+// exactly the legacy single-accusation outcome.
+func (n *Network) priceAuditsSuspended() bool { return n.priceSuspect }
+
+// priceCheatKind reports whether an accusation kind names a stage-2
+// price-plane cheat (the kinds whose poison propagates transitively).
+func priceCheatKind(kind string) bool {
+	return kind == "understated price entry" || kind == "overstated price entry"
+}
+
 // SetTrace emits one summary line per executed round to w: how many
 // announcements, price updates, corrections and accusations were
 // delivered. Useful with disttrace -roundlog.
@@ -313,8 +457,28 @@ func (n *Network) ReDeclare(v int, cost float64) {
 // declared).
 func (n *Network) Cost(v int) float64 { return n.G.Cost(v) }
 
-// Neighbors returns v's neighbour set.
-func (n *Network) Neighbors(v int) []int { return n.G.Neighbors(v) }
+// Neighbors returns v's neighbour set as the protocol sees it: once
+// eviction is armed, evicted nodes vanish from every view (the
+// radio-layer adjacency in G is untouched — an evicted node still
+// physically occupies its spot; deliver keeps using G directly). The
+// filtered view is cached and invalidated on each eviction.
+func (n *Network) Neighbors(v int) []int {
+	if n.evicted == nil {
+		return n.G.Neighbors(v)
+	}
+	if cached, ok := n.nbView[v]; ok {
+		return cached
+	}
+	phys := n.G.Neighbors(v)
+	out := make([]int, 0, len(phys))
+	for _, u := range phys {
+		if !n.evicted[u] {
+			out = append(out, u)
+		}
+	}
+	n.nbView[v] = out
+	return out
+}
 
 // schedule enqueues one point-to-point frame, preserving per-channel
 // FIFO order under async delays. FIFO is keyed by the *physical*
@@ -325,12 +489,18 @@ func (n *Network) schedule(sender int, fr frame) {
 	if n.maxDelay > 1 {
 		delay = 1 + n.delayRng.IntN(n.maxDelay)
 	}
+	if f := n.faults; f != nil && f.plan.Jitter > 0 {
+		delay += f.rng.IntN(f.plan.Jitter + 1)
+	}
 	at := n.Rounds + delay
 	ch := [2]int{sender, fr.msg.To}
-	if last := n.lastDelivery[ch]; at < last {
+	if last := n.lastDelivery[ch]; at < last &&
+		(n.faults == nil || !n.faults.plan.Reorder) {
 		at = last // never overtake an earlier frame on this channel
 	}
-	n.lastDelivery[ch] = at
+	if at > n.lastDelivery[ch] {
+		n.lastDelivery[ch] = at
+	}
 	byTarget := n.pending[at]
 	if byTarget == nil {
 		byTarget = map[int][]frame{}
@@ -362,23 +532,56 @@ func (n *Network) deliver(sender int, msgs []Message) {
 	for _, m := range msgs {
 		if m.Accuse != nil {
 			// Accusations are flooded out of band (signed, §III.H);
-			// the simulator records them centrally.
-			n.Log = append(n.Log, *m.Accuse)
-			obsAccusations.Inc()
-			obs.Emit("dist.accuse", int64(n.Rounds), int64(sender), int64(m.Accuse.Offender))
+			// the simulator records them centrally, attributed to the
+			// physical transmitter for quorum aggregation.
+			n.recordAccusation(sender, *m.Accuse)
 			continue
 		}
-		if n.keyring != nil {
+		if m.Evict != nil {
+			// Eviction verdicts are issued by quorum at epoch
+			// boundaries (eviction.go), never by individual nodes; a
+			// Behavior emitting one on the data channel is trying to
+			// evict by fiat.
+			n.Violations++
+			obsViolations.Inc()
+			n.recordAccusation(simAccuser, Accusation{
+				Offender: sender,
+				Kind:     "protocol violation: forged eviction notice",
+			})
+			continue
+		}
+		if n.keyring != nil && m.Sig == nil {
+			// Stamp with the *transmitter's* key. A pre-attached
+			// signature is kept as-is: the radio sends the bytes the
+			// node hands it, which is exactly how a Tamperer gets a
+			// frame whose signature no longer matches its payload on
+			// the air.
 			m.Sig = signMessage(n.keyring[sender], &m)
 		}
 		if m.To == Broadcast {
 			for _, v := range n.G.Neighbors(sender) {
+				if n.evicted != nil && n.evicted[v] {
+					n.DroppedEvicted++
+					obsDroppedEvicted.Inc()
+					continue
+				}
 				mm := m
 				mm.To = v
 				if n.verified(mm) {
 					n.transmit(sender, mm)
+				} else {
+					n.noteForged(sender, v)
 				}
 			}
+			continue
+		}
+		if n.evicted != nil && m.To >= 0 && m.To < n.G.N() && n.evicted[m.To] {
+			// A correction or retarget already addressed to a node
+			// evicted this epoch: suppress it instead of flagging a
+			// violation — the sender may legitimately not have
+			// processed the eviction yet.
+			n.DroppedEvicted++
+			obsDroppedEvicted.Inc()
 			continue
 		}
 		if m.To < 0 || m.To >= n.G.N() || !n.G.HasEdge(sender, m.To) {
@@ -388,7 +591,7 @@ func (n *Network) deliver(sender int, msgs []Message) {
 			// able to take down the harness.
 			n.Violations++
 			obsViolations.Inc()
-			n.Log = append(n.Log, Accusation{
+			n.recordAccusation(simAccuser, Accusation{
 				Offender: sender,
 				Kind:     fmt.Sprintf("protocol violation: sent to non-neighbour %d", m.To),
 			})
@@ -396,6 +599,8 @@ func (n *Network) deliver(sender int, msgs []Message) {
 		}
 		if n.verified(m) {
 			n.transmit(sender, m)
+		} else {
+			n.noteForged(sender, m.To)
 		}
 	}
 }
@@ -474,6 +679,9 @@ func (n *Network) RunRound() bool {
 	for i, node := range n.Nodes {
 		if n.faults != nil && n.faults.crashed[i] {
 			continue // a crashed node neither computes nor transmits
+		}
+		if n.evicted != nil && n.evicted[i] {
+			continue // an evicted node is silenced for good
 		}
 		out := node.Step(n.Rounds, inboxes[i])
 		if len(out) > 0 {

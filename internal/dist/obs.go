@@ -38,6 +38,15 @@ var (
 	obsViolations    = obs.NewCounter("dist.violations")
 	obsDroppedForged = obs.NewCounter("dist.dropped_forged")
 
+	// Byzantine-hardening events (eviction.go): frames rejected by the
+	// generation replay window, frames suppressed because an endpoint
+	// was evicted, frames cut by a partition schedule, and evictions
+	// applied at epoch boundaries.
+	obsDroppedStale     = obs.NewCounter("dist.dropped_stale")
+	obsDroppedEvicted   = obs.NewCounter("dist.dropped_evicted")
+	obsPartitionDropped = obs.NewCounter("dist.partition_dropped")
+	obsEvictions        = obs.NewCounter("dist.evictions")
+
 	// Convergence shape of the most recent RunProtocol call.
 	obsStage1Rounds = obs.NewGauge("dist.stage1_rounds")
 	obsStage2Rounds = obs.NewGauge("dist.stage2_rounds")

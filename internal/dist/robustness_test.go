@@ -1,0 +1,84 @@
+package dist
+
+import (
+	"fmt"
+	"testing"
+
+	"math/rand/v2"
+	"truthroute/internal/auth"
+	"truthroute/internal/graph"
+)
+
+// TestNoFalseAccusationsUnderFaults is the campaign's zero-false-
+// positive pillar, table-driven over the whole fault surface: with
+// signing and quorum-1 eviction armed — the hair-trigger setting,
+// where a single mistaken accusation evicts an honest node — every
+// adversary-free fault plan (loss, burst loss, duplication, crash
+// and recovery, partitions, delay jitter, reordering, and their
+// combination) must converge with an empty accusation ledger and an
+// empty eviction set, and the converged prices must still match the
+// centralized solve on the full topology. Run under -race in CI.
+func TestNoFalseAccusationsUnderFaults(t *testing.T) {
+	plans := []struct {
+		name string
+		plan func() *FaultPlan
+	}{
+		{"loss", func() *FaultPlan { return &FaultPlan{Loss: 0.15} }},
+		{"burst", func() *FaultPlan {
+			return &FaultPlan{Burst: &GilbertElliott{
+				PGoodBad: 0.1, PBadGood: 0.4, LossGood: 0.02, LossBad: 0.6,
+			}}
+		}},
+		{"dup", func() *FaultPlan { return &FaultPlan{Dup: 0.25} }},
+		{"crash", func() *FaultPlan {
+			return &FaultPlan{Crashes: []CrashEvent{{Node: 3, At: 5, Recover: 30}}}
+		}},
+		{"partition", func() *FaultPlan {
+			return &FaultPlan{Partitions: []PartitionEvent{{At: 4, Heal: 14, Side: []int{1, 2, 3}}}}
+		}},
+		{"jitter", func() *FaultPlan { return &FaultPlan{Jitter: 2} }},
+		{"reorder", func() *FaultPlan { return &FaultPlan{Jitter: 3, Reorder: true} }},
+		{"combined", func() *FaultPlan {
+			return &FaultPlan{
+				Loss:       0.08,
+				Dup:        0.1,
+				Crashes:    []CrashEvent{{Node: 5, At: 8, Recover: 40}},
+				Partitions: []PartitionEvent{{At: 6, Heal: 16, Side: []int{1, 2}}},
+				Jitter:     2,
+				Reorder:    true,
+			}
+		}},
+	}
+	for _, tc := range plans {
+		for _, seed := range []uint64{1, 7} {
+			t.Run(fmt.Sprintf("%s/seed%d", tc.name, seed), func(t *testing.T) {
+				t.Parallel()
+				rng := rand.New(rand.NewPCG(seed, 0xfa1))
+				g := graph.RandomBiconnected(10, 0.3, rng)
+				g.RandomizeCosts(0.5, 4, rng)
+				plan := tc.plan()
+				plan.Seed = seed
+				net := NewNetwork(g, 0, nil)
+				net.EnableSigning(auth.NewKeyring(g.N()))
+				net.EnableEviction(1)
+				net.SetFaults(plan)
+				rounds, epochs, converged := net.RunProtocolWithEviction(600*g.N()+20000, 2)
+				if !converged {
+					t.Fatalf("did not quiesce (rounds=%d epochs=%d, stats %v)",
+						rounds, epochs, net.FaultStats.String())
+				}
+				if epochs != 1 {
+					t.Errorf("fault-only run took %d epochs; an eviction happened: %v",
+						epochs, net.EvictionLog)
+				}
+				if len(net.Log) != 0 {
+					t.Errorf("false accusations under faults: %v", net.Log)
+				}
+				if got := net.EvictedSet(); len(got) != 0 {
+					t.Errorf("honest nodes evicted under faults: %v", got)
+				}
+				checkPricesMatchCentralized(t, g, net)
+			})
+		}
+	}
+}

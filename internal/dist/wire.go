@@ -36,6 +36,7 @@ const (
 	tagPrice   = 'p'
 	tagCorrect = 'c'
 	tagAccuse  = 'a'
+	tagEvict   = 'e'
 )
 
 // Decoder resource bounds: a frame that claims more than these is
@@ -53,7 +54,7 @@ const (
 // network input).
 func EncodeMessage(m *Message) []byte {
 	set := 0
-	for _, p := range []bool{m.SPT != nil, m.Price != nil, m.Correct != nil, m.Accuse != nil} {
+	for _, p := range []bool{m.SPT != nil, m.Price != nil, m.Correct != nil, m.Accuse != nil, m.Evict != nil} {
 		if p {
 			set++
 		}
@@ -108,6 +109,13 @@ func EncodeMessage(m *Message) []byte {
 		wi(m.Accuse.Offender)
 		wi(len(m.Accuse.Kind))
 		buf = append(buf, m.Accuse.Kind...)
+	case m.Evict != nil:
+		buf = append(buf, tagEvict)
+		wi(m.Evict.Offender)
+		wi(len(m.Evict.Accusers))
+		for _, v := range m.Evict.Accusers {
+			wi(v)
+		}
 	}
 	return buf
 }
@@ -269,6 +277,29 @@ func DecodeMessage(data []byte) (*Message, error) {
 			r.pos += n
 		}
 		m.Accuse = a
+	case tag == tagEvict:
+		e := &EvictionNotice{}
+		e.Offender = r.node("offender")
+		if r.err == nil && e.Offender < 0 {
+			r.fail("offender %d negative", e.Offender)
+		}
+		n := r.count("accusers", maxWireMap)
+		prev := -1
+		for i := 0; i < n && r.err == nil; i++ {
+			v := r.node("accuser")
+			if r.err == nil && v <= prev {
+				r.fail("accusers not strictly sorted at %d", v)
+			}
+			prev = v
+			if r.err == nil && v < 0 {
+				r.fail("accuser %d negative", v)
+			}
+			if r.err != nil {
+				break
+			}
+			e.Accusers = append(e.Accusers, v)
+		}
+		m.Evict = e
 	default:
 		r.fail("unknown payload tag %q", tag)
 	}

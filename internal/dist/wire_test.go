@@ -22,6 +22,8 @@ func wireSamples() []*Message {
 		{From: 6, Correct: &Correction{D: 0}},
 		{From: 4, Accuse: &Accusation{Offender: 2, Kind: "understated price entry"}},
 		{From: 0, Accuse: &Accusation{Offender: 1, Kind: ""}},
+		{From: 7, Evict: &EvictionNotice{Offender: 4, Accusers: []int{1, 3, 6}}},
+		{From: 2, Evict: &EvictionNotice{Offender: 9}},
 	}
 }
 
@@ -59,6 +61,11 @@ func TestWireRoundTrip(t *testing.T) {
 		case m.Accuse != nil:
 			if got.Accuse == nil || *got.Accuse != *m.Accuse {
 				t.Errorf("sample %d: Accuse %+v != %+v", i, got.Accuse, m.Accuse)
+			}
+		case m.Evict != nil:
+			if got.Evict == nil || got.Evict.Offender != m.Evict.Offender ||
+				!reflect.DeepEqual(pathOf(got.Evict.Accusers), pathOf(m.Evict.Accusers)) {
+				t.Errorf("sample %d: Evict %+v != %+v", i, got.Evict, m.Evict)
 			}
 		}
 	}
@@ -121,6 +128,39 @@ func TestWireRejectsUnsortedPrices(t *testing.T) {
 	wi(-1)
 	if m, err := DecodeMessage(b); err == nil {
 		t.Fatalf("unsorted prices decoded: %+v", m)
+	}
+}
+
+func TestWireRejectsMalformedEvict(t *testing.T) {
+	build := func(offender int64, accusers ...int64) []byte {
+		var b []byte
+		b = append(b, wireVersion)
+		wi := func(x int64) {
+			for s := 56; s >= 0; s -= 8 {
+				b = append(b, byte(uint64(x)>>uint(s)))
+			}
+		}
+		wi(7) // from
+		b = append(b, tagEvict)
+		wi(offender)
+		wi(int64(len(accusers)))
+		for _, a := range accusers {
+			wi(a)
+		}
+		return b
+	}
+	for name, data := range map[string][]byte{
+		"negative offender":  build(-1, 1, 2),
+		"unsorted accusers":  build(4, 3, 1),
+		"duplicate accusers": build(4, 1, 1),
+		"negative accuser":   build(4, -2, 1),
+	} {
+		if m, err := DecodeMessage(data); err == nil {
+			t.Errorf("%s: decoded %+v, want error", name, m)
+		}
+	}
+	if _, err := DecodeMessage(build(4, 1, 3, 6)); err != nil {
+		t.Errorf("well-formed eviction notice rejected: %v", err)
 	}
 }
 

@@ -1,0 +1,355 @@
+package experiment
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+
+	"truthroute/internal/auth"
+	"truthroute/internal/core"
+	"truthroute/internal/dist"
+	"truthroute/internal/graph"
+	"truthroute/internal/stats"
+)
+
+// AdversaryCampaign measures the accusation→quorum→eviction pipeline
+// end to end: random biconnected instances are seeded with one planted
+// Byzantine deviation (or a colluding pair), the epochal protocol runs
+// with signing and quorum-1 eviction armed, and the outcome is graded
+// against three acceptance pillars — every planted offender is
+// evicted, no honest node is ever accused or evicted, and the
+// survivors' healed prices are bit-identical to a from-scratch
+// centralized solve on the evicted topology. The overpayment column
+// reports the economic cost of the healing: how much more the
+// surviving sources pay once the cheater's links are gone.
+type AdversaryCampaign struct {
+	N int // nodes per instance
+
+	// Densities sweeps the extra-edge probability of
+	// RandomBiconnected — sparse graphs stress degraded mode, dense
+	// graphs stress the accusation fan-in.
+	Densities []float64
+
+	// Kinds selects the planted deviations; nil means the full
+	// evictable roster (AdversaryKinds).
+	Kinds []string
+
+	Instances int
+	Seed      uint64
+}
+
+// AdversaryKinds is the full evictable roster, one entry per detection
+// path: stage-2 trigger verification (underpay, overpay), stage-1
+// mutual correction (equivocate, drop), the generation replay window
+// (replay), the signature layer (tamper), and the quorum loop itself
+// (collude — a pair sharing state, the shield convicted one epoch
+// after the leader). Mute is deliberately absent: silence is not
+// evictable evidence.
+func AdversaryKinds() []string {
+	return []string{"underpay", "overpay", "equivocate", "replay", "tamper", "drop", "collude"}
+}
+
+// AdversaryRow aggregates one (kind, density) cell over the instances.
+type AdversaryRow struct {
+	Kind string
+	P    float64
+	Runs int
+	// Converged counts runs whose final epoch quiesced within the
+	// round cap.
+	Converged int
+	// Planted / Evicted: planted offenders across runs, and how many
+	// of them the quorum evicted. Acceptance needs Evicted == Planted.
+	Planted int
+	Evicted int
+	// HonestEvictions and HonestAccusations must both stay zero: an
+	// honest casualty anywhere in the sweep is a soundness bug.
+	HonestEvictions   int
+	HonestAccusations int
+	// DetectRounds / DetectEpochs: mean protocol round of the
+	// eviction verdict and mean epochs to full quiescence.
+	DetectRounds float64
+	DetectEpochs float64
+	// AgreeSources / Sources: surviving sources whose healed price
+	// vector matches the centralized solve on the evicted topology
+	// (degraded-mode sources must answer unreachable, which counts as
+	// agreement with a nil quote).
+	AgreeSources int
+	Sources      int
+	// OverpayX is the mean post-eviction price of the healing: total
+	// payment on the evicted topology over total payment on the full
+	// topology, across sources reachable in both.
+	OverpayX float64
+}
+
+type advCell struct {
+	kind string
+	p    float64
+}
+
+// plantAdversary installs one planted deviation of the given kind at
+// an eligible position and returns the planted offender ids, or false
+// when the instance has no position where the deviation is provably
+// detectable. Eligibility mirrors the detection analysis in
+// DESIGN.md §11:
+//
+//   - price cheats (underpay, overpay, collude) need an LCP with at
+//     least one relay, so there are price entries for honest triggers
+//     to audit;
+//   - a colluding leader's shield is its LCP first hop, so entry
+//     k=partner keeps an honest trigger (the replacement path avoids
+//     the partner);
+//   - an equivocator needs a non-first-hop, non-destination neighbour
+//     to lie to — the destination never issues corrections;
+//   - a tamperer needs a relayed route (D > 0): its post-signing flip
+//     halves the announced distance, and halving a destination-adjacent
+//     zero leaves the frame byte-identical and validly signed;
+//   - a selective dropper's victim is its LCP first hop, and the route
+//     through the victim must be strictly cheapest, so the victim's
+//     correction is one the dropper provably refuses.
+func plantAdversary(kind string, g *graph.NodeGraph, quotes []*core.Quote,
+	behaviors []dist.Behavior, rng *rand.Rand) ([]int, bool) {
+	var eligible []int
+	relayed := func(v int) bool { return quotes[v] != nil && len(quotes[v].Path) >= 3 }
+	for v := 1; v < g.N(); v++ {
+		switch kind {
+		case "underpay", "overpay", "collude":
+			if relayed(v) {
+				eligible = append(eligible, v)
+			}
+		case "equivocate":
+			if quotes[v] == nil {
+				continue
+			}
+			fh := quotes[v].Path[1]
+			for _, w := range g.Neighbors(v) {
+				if w != 0 && w != fh {
+					eligible = append(eligible, v)
+					break
+				}
+			}
+		case "replay":
+			if quotes[v] != nil {
+				eligible = append(eligible, v)
+			}
+		case "tamper":
+			// A destination-adjacent node has D = 0, and halving zero
+			// leaves the signed payload byte-identical — the "tampered"
+			// frame would verify fine. The flip needs a relayed route to
+			// have something to corrupt.
+			if relayed(v) {
+				eligible = append(eligible, v)
+			}
+		case "drop":
+			if quotes[v] == nil || quotes[v].Path[1] == 0 {
+				continue
+			}
+			victim := quotes[v].Path[1]
+			alt := math.Inf(1)
+			for _, w := range g.Neighbors(v) {
+				if w == victim {
+					continue
+				}
+				cand := 0.0
+				if w != 0 {
+					if quotes[w] == nil {
+						continue
+					}
+					cand = g.Cost(w) + quotes[w].Cost
+				}
+				alt = math.Min(alt, cand)
+			}
+			if alt > quotes[v].Cost+1e-9 {
+				eligible = append(eligible, v)
+			}
+		default:
+			panic(fmt.Sprintf("experiment: unknown adversary kind %q", kind))
+		}
+	}
+	if len(eligible) == 0 {
+		return nil, false
+	}
+	v := eligible[rng.IntN(len(eligible))]
+	switch kind {
+	case "underpay":
+		behaviors[v] = &dist.Underpayer{Factor: 0.5 + 0.4*rng.Float64()}
+	case "overpay":
+		behaviors[v] = &dist.Overpayer{Factor: 1.2 + 0.8*rng.Float64()}
+	case "equivocate":
+		behaviors[v] = &dist.Equivocator{}
+	case "replay":
+		behaviors[v] = &dist.Replayer{}
+	case "tamper":
+		behaviors[v] = &dist.Tamperer{}
+	case "drop":
+		behaviors[v] = &dist.SelectiveDropper{Victims: []int{quotes[v].Path[1]}}
+	case "collude":
+		partner := quotes[v].Path[1]
+		leader, shield := dist.NewColludingPair(v, partner, 0.5)
+		behaviors[v], behaviors[partner] = leader, shield
+		return []int{v, partner}, true
+	}
+	return []int{v}, true
+}
+
+// Run executes the campaign. Parallel over instances; every draw
+// derives from (Seed, instance, cell), so results are independent of
+// scheduling.
+func (c AdversaryCampaign) Run() []AdversaryRow {
+	kinds := c.Kinds
+	if kinds == nil {
+		kinds = AdversaryKinds()
+	}
+	var cells []advCell
+	for _, k := range kinds {
+		for _, p := range c.Densities {
+			cells = append(cells, advCell{kind: k, p: p})
+		}
+	}
+	type cellRes struct {
+		converged        bool
+		planted, evicted int
+		honestEvict      int
+		honestAccuse     int
+		detectRound      float64
+		epochs           int
+		agree, sources   int
+		overpayX         float64
+		overpaySrc       int
+	}
+	results := make([][]cellRes, c.Instances)
+	maxRounds := 30*c.N + 200
+	forEach(c.Instances, func(inst int) {
+		res := make([]cellRes, len(cells))
+		for ci, cell := range cells {
+			rng := rand.New(rand.NewPCG(c.Seed^0xadf5, uint64(inst)<<16|uint64(ci)))
+			var g *graph.NodeGraph
+			var quotes []*core.Quote
+			var planted []int
+			behaviors := make([]dist.Behavior, c.N)
+			// An ineligible draw (no position where the deviation is
+			// provably detectable) is resampled; biconnected instances
+			// at these sizes almost always qualify on the first try.
+			for attempt := 0; attempt < 32; attempt++ {
+				g = graph.RandomBiconnected(c.N, cell.p, rng)
+				g.RandomizeCosts(0.5, 4, rng)
+				quotes = core.AllUnicastQuotes(g, 0)
+				clear(behaviors)
+				var ok bool
+				if planted, ok = plantAdversary(cell.kind, g, quotes, behaviors, rng); ok {
+					break
+				}
+				planted = nil
+			}
+			if planted == nil {
+				continue // leave a zero row entry; Planted stays 0
+			}
+			plantedSet := map[int]bool{}
+			for _, v := range planted {
+				plantedSet[v] = true
+			}
+			net := dist.NewNetwork(g, 0, behaviors)
+			net.EnableSigning(auth.NewKeyring(c.N))
+			net.EnableEviction(1)
+			_, epochs, converged := net.RunProtocolWithEviction(maxRounds, 6)
+			r := cellRes{converged: converged, planted: len(planted), epochs: epochs}
+			var detect stats.Acc
+			for _, v := range net.EvictedSet() {
+				if plantedSet[v] {
+					r.evicted++
+					detect.Add(float64(net.EvictionRound(v)))
+				} else {
+					r.honestEvict++
+				}
+			}
+			r.detectRound = detect.Mean()
+			for _, a := range net.Log {
+				if !plantedSet[a.Offender] {
+					r.honestAccuse++
+				}
+			}
+			if converged {
+				healed := core.AllUnicastQuotes(net.EvictedTopology(), 0)
+				states := net.States()
+				for i := 1; i < c.N; i++ {
+					if net.Evicted(i) {
+						continue
+					}
+					r.sources++
+					if healedAgrees(states[i], healed[i]) {
+						r.agree++
+					}
+					if healed[i] != nil && quotes[i] != nil {
+						if before := quotes[i].Total(); before > 0 && !math.IsInf(before, 1) &&
+							!math.IsInf(healed[i].Total(), 1) {
+							r.overpayX += healed[i].Total() / before
+							r.overpaySrc++
+						}
+					}
+				}
+			}
+			res[ci] = r
+		}
+		results[inst] = res
+	})
+	rows := make([]AdversaryRow, len(cells))
+	for ci, cell := range cells {
+		row := AdversaryRow{Kind: cell.kind, P: cell.p, Runs: c.Instances}
+		var detect, epochs, overpay stats.Acc
+		for inst := 0; inst < c.Instances; inst++ {
+			r := results[inst][ci]
+			if r.converged {
+				row.Converged++
+			}
+			row.Planted += r.planted
+			row.Evicted += r.evicted
+			row.HonestEvictions += r.honestEvict
+			row.HonestAccusations += r.honestAccuse
+			if r.evicted > 0 {
+				detect.Add(r.detectRound)
+				epochs.Add(float64(r.epochs))
+			}
+			row.AgreeSources += r.agree
+			row.Sources += r.sources
+			if r.overpaySrc > 0 {
+				overpay.Add(r.overpayX / float64(r.overpaySrc))
+			}
+		}
+		row.DetectRounds, row.DetectEpochs = detect.Mean(), epochs.Mean()
+		row.OverpayX = overpay.Mean()
+		rows[ci] = row
+	}
+	return rows
+}
+
+// healedAgrees compares a surviving node's converged state with the
+// centralized solve on the evicted topology. A nil quote means the
+// evictions disconnected the source: the degraded-mode answer is
+// D = +Inf with no price entries. Infinite entries (monopolist
+// payments) agree with each other exactly.
+func healedAgrees(st *dist.NodeState, q *core.Quote) bool {
+	if q == nil {
+		return math.IsInf(st.D, 1) && len(st.Prices) == 0
+	}
+	if math.Abs(st.D-q.Cost) > lossAgreeTol*math.Max(1, math.Abs(q.Cost)) {
+		return false
+	}
+	if len(st.Prices) != len(q.Payments) {
+		return false
+	}
+	for k, w := range q.Payments {
+		g, ok := st.Prices[k]
+		if !ok {
+			return false
+		}
+		if math.IsInf(w, 1) || math.IsInf(g, 1) {
+			if !math.IsInf(w, 1) || !math.IsInf(g, 1) {
+				return false // one side finite: a monopolist payment disagreement
+			}
+			continue
+		}
+		if math.Abs(g-w) > lossAgreeTol*math.Max(1, math.Abs(w)) {
+			return false
+		}
+	}
+	return true
+}

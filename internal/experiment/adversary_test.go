@@ -1,0 +1,75 @@
+package experiment
+
+import "testing"
+
+// TestAdversaryCampaign is the tentpole acceptance gate: across the
+// full evictable roster and three densities, every planted offender is
+// evicted within the epoch budget, no honest node is ever accused or
+// evicted, and every surviving source's healed prices match the
+// centralized solve on the evicted topology.
+func TestAdversaryCampaign(t *testing.T) {
+	for _, seed := range []uint64{11, 2004} {
+		rows := AdversaryCampaign{N: 10,
+			Densities: []float64{0.15, 0.3, 0.5},
+			Instances: 3, Seed: seed}.Run()
+		if want := len(AdversaryKinds()) * 3; len(rows) != want {
+			t.Fatalf("seed %d: got %d rows, want %d", seed, len(rows), want)
+		}
+		for _, r := range rows {
+			if r.Converged != r.Runs {
+				t.Errorf("seed %d %s p=%g: %d/%d converged", seed, r.Kind, r.P, r.Converged, r.Runs)
+			}
+			if r.Planted == 0 {
+				t.Errorf("seed %d %s p=%g: no instance admitted a planted adversary", seed, r.Kind, r.P)
+			}
+			if r.Evicted != r.Planted {
+				t.Errorf("seed %d %s p=%g: evicted %d of %d planted offenders",
+					seed, r.Kind, r.P, r.Evicted, r.Planted)
+			}
+			if r.HonestEvictions != 0 || r.HonestAccusations != 0 {
+				t.Errorf("seed %d %s p=%g: honest casualties (evictions=%d accusations=%d)",
+					seed, r.Kind, r.P, r.HonestEvictions, r.HonestAccusations)
+			}
+			if r.AgreeSources != r.Sources || r.Sources == 0 {
+				t.Errorf("seed %d %s p=%g: healed-price agreement %d/%d",
+					seed, r.Kind, r.P, r.AgreeSources, r.Sources)
+			}
+			if r.DetectRounds <= 0 {
+				t.Errorf("seed %d %s p=%g: no detection round recorded", seed, r.Kind, r.P)
+			}
+			if r.Kind == "collude" && r.DetectEpochs < 2 {
+				t.Errorf("seed %d collude p=%g: pair fell in %.1f epochs; the shield should cost one extra",
+					seed, r.P, r.DetectEpochs)
+			}
+		}
+	}
+}
+
+func TestRunFigureByzantine(t *testing.T) {
+	s, err := RunFigure("byzantine", false, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := len(AdversaryKinds()) * 3; s.Figure != "byzantine" || len(s.Rows) != want {
+		t.Fatalf("unexpected series: figure=%q rows=%d (want %d)", s.Figure, len(s.Rows), want)
+	}
+}
+
+func TestAdversaryKindsRoster(t *testing.T) {
+	kinds := AdversaryKinds()
+	if len(kinds) < 6 {
+		t.Fatalf("roster has %d kinds, want >= 6", len(kinds))
+	}
+	seen := map[string]bool{}
+	for _, k := range kinds {
+		if seen[k] {
+			t.Errorf("duplicate kind %q", k)
+		}
+		seen[k] = true
+	}
+	for _, must := range []string{"underpay", "overpay", "collude"} {
+		if !seen[must] {
+			t.Errorf("roster missing %q", must)
+		}
+	}
+}

@@ -78,7 +78,7 @@ func (s *Series) Render(w io.Writer) {
 // FigureIDs lists the reproducible experiments in order; "node" and
 // "topo" are this repository's extension experiments.
 func FigureIDs() []string {
-	return []string{"3a", "3b", "3c", "3d", "3e", "3f", "node", "topo", "life", "ptilde", "loss", "oracle"}
+	return []string{"3a", "3b", "3c", "3d", "3e", "3f", "node", "topo", "life", "ptilde", "loss", "oracle", "byzantine"}
 }
 
 // RunFigure regenerates one panel of Figure 3 (or the extra "node"
@@ -208,6 +208,32 @@ func RunFigure(id string, full bool, seed uint64) (*Series, error) {
 				fmt.Sprintf("%d/%d", r.AgreeSources, r.Sources),
 				fmt.Sprintf("%.2f", r.RoundsX), fmt.Sprintf("%.2f", r.MsgX),
 				fmt.Sprintf("%.0f", r.Retrans)})
+		}
+		return s, nil
+	case "byzantine":
+		n, inst := 10, 3
+		densities := []float64{0.15, 0.3, 0.5}
+		if full {
+			n, inst = 16, 12
+			densities = []float64{0.1, 0.2, 0.3, 0.5}
+		}
+		rows := AdversaryCampaign{N: n, Densities: densities,
+			Instances: inst, Seed: seed}.Run()
+		s := &Series{Figure: "byzantine",
+			Title: fmt.Sprintf("Byzantine campaign: eviction and self-healing, n=%d, quorum 1", n),
+			Header: []string{"adversary", "p", "converged", "evicted", "honest-evict",
+				"honest-acc", "detect-round", "epochs", "healed-agree", "overpay-x"}}
+		for _, r := range rows {
+			s.Rows = append(s.Rows, []string{
+				r.Kind, fmt.Sprintf("%.2f", r.P),
+				fmt.Sprintf("%d/%d", r.Converged, r.Runs),
+				fmt.Sprintf("%d/%d", r.Evicted, r.Planted),
+				fmt.Sprintf("%d", r.HonestEvictions),
+				fmt.Sprintf("%d", r.HonestAccusations),
+				fmt.Sprintf("%.0f", r.DetectRounds),
+				fmt.Sprintf("%.1f", r.DetectEpochs),
+				fmt.Sprintf("%d/%d", r.AgreeSources, r.Sources),
+				fmt.Sprintf("%.2f", r.OverpayX)})
 		}
 		return s, nil
 	case "oracle":

@@ -108,6 +108,7 @@ FuzzReadNodeGraph:./internal/graph/
 FuzzReadLinkGraph:./internal/graph/
 FuzzReadEdgeWeighted:./internal/graph/
 FuzzDecodeMessage:./internal/dist/
+FuzzReplayWindow:./internal/dist/
 FuzzReadDeployment:./internal/wireless/
 "
 
