@@ -1,0 +1,23 @@
+// Command quoteload load-tests a running truthrouted daemon with
+// deterministic seeded closed-loop workers and reports achieved
+// throughput and latency percentiles (p50/p95/p99).
+//
+// Usage:
+//
+//	quoteload -addr 127.0.0.1:8437 -workers 8 -requests 10000 [-qps 500]
+//
+// With -bench NAME it also prints a `go test -bench`-format line so
+// the run folds into the BENCH_payments.json pipeline:
+//
+//	quoteload -bench BenchmarkServeQuoteLoadHTTP ... | benchreport -input - -out -
+package main
+
+import (
+	"os"
+
+	"truthroute/internal/cli"
+)
+
+func main() {
+	os.Exit(cli.RunQuoteload(os.Args[1:], os.Stdout, os.Stderr))
+}

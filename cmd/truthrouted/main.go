@@ -1,0 +1,29 @@
+// Command truthrouted is the concurrent quote-serving daemon: it
+// loads a NodeGraph topology (netgen -model node emits one), shards
+// it by connected component, and serves VCG payment quotes over
+// HTTP/JSON.
+//
+// Usage:
+//
+//	truthrouted -topology net.json [-addr 127.0.0.1:8437] [-engine fast|naive]
+//
+// Endpoints:
+//   - GET  /quote?src=S&dst=D[&engine=fast|naive] — one payment quote
+//   - POST /update {"updates":[{"node":N,"cost":C},...]} — batched
+//     cost updates, applied atomically per shard (epoch snapshot flip)
+//   - GET  /epoch, GET /healthz — shard epochs and liveness
+//   - /metrics, /debug/vars, /debug/pprof — observability surface
+//
+// SIGINT/SIGTERM drains gracefully: in-flight requests finish, new
+// work is refused with 503, then the process exits 0.
+package main
+
+import (
+	"os"
+
+	"truthroute/internal/cli"
+)
+
+func main() {
+	os.Exit(cli.RunTruthrouted(os.Args[1:], os.Stdout, os.Stderr))
+}

@@ -1,0 +1,95 @@
+package cli
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+
+	"truthroute/internal/serve"
+)
+
+// RunQuoteload load-tests a running truthrouted daemon with
+// deterministic seeded closed-loop workers (serve.RunLoad) and prints
+// achieved throughput and latency percentiles. With -bench it also
+// emits a `go test -bench`-format line, so
+//
+//	quoteload -bench BenchmarkServeQuoteLoadHTTP ... | benchreport -input - -out -
+//
+// folds the load run into the BENCH_payments.json pipeline.
+func RunQuoteload(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("quoteload", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	addr := fs.String("addr", "127.0.0.1:8437", "daemon address: host:port, a full http:// base URL, or file:PATH naming an -addr-file written by truthrouted")
+	workers := fs.Int("workers", 4, "closed-loop workers (each keeps at most one request in flight)")
+	qps := fs.Float64("qps", 0, "aggregate target rate the workers pace to (0 = as fast as the loops close)")
+	requests := fs.Int("requests", 0, "total request budget (default 2000 when -duration is unset)")
+	duration := fs.Duration("duration", 0, "wall-clock budget, an alternative stop rule")
+	seed := fs.Uint64("seed", 1, "random seed for (src, dst) pair selection")
+	engine := fs.String("engine", "", "pin ?engine= on requests: fast or naive (default: the daemon's default)")
+	nodes := fs.Int("n", 0, "node-id space to draw pairs from (0 = ask the daemon's /healthz)")
+	benchName := fs.String("bench", "", "also emit a go-bench-format line under this Benchmark* name")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *requests <= 0 && *duration <= 0 {
+		*requests = 2000
+	}
+
+	base := *addr
+	if strings.HasPrefix(base, "file:") {
+		blob, err := os.ReadFile(strings.TrimPrefix(base, "file:"))
+		if err != nil {
+			fmt.Fprintln(stderr, "quoteload:", err)
+			return 1
+		}
+		base = strings.TrimSpace(string(blob))
+	}
+	if !strings.HasPrefix(base, "http://") && !strings.HasPrefix(base, "https://") {
+		base = "http://" + base
+	}
+
+	client := &http.Client{}
+	n := *nodes
+	if n == 0 {
+		resp, err := client.Get(base + "/healthz")
+		if err != nil {
+			fmt.Fprintln(stderr, "quoteload:", err)
+			return 1
+		}
+		var h serve.HealthResponse
+		err = json.NewDecoder(resp.Body).Decode(&h)
+		_ = resp.Body.Close()
+		if err != nil {
+			fmt.Fprintln(stderr, "quoteload: decoding /healthz:", err)
+			return 1
+		}
+		n = h.Nodes
+	}
+
+	res, err := serve.RunLoad(serve.HTTPQuoteDo(client, base, *engine), serve.LoadOptions{
+		N:        n,
+		Workers:  *workers,
+		QPS:      *qps,
+		Requests: *requests,
+		Duration: *duration,
+		Seed:     *seed,
+		Engine:   *engine,
+	})
+	if err != nil {
+		fmt.Fprintln(stderr, "quoteload:", err)
+		return 1
+	}
+	fmt.Fprintln(stdout, res.String())
+	if *benchName != "" {
+		fmt.Fprintln(stdout, res.BenchLine(*benchName))
+	}
+	if res.Errors > 0 {
+		fmt.Fprintf(stderr, "quoteload: %d requests failed\n", res.Errors)
+		return 1
+	}
+	return 0
+}

@@ -46,11 +46,21 @@ type Quote struct {
 	Payments map[int]float64
 }
 
-// Total returns the source's total payment Σ_k p_i^k.
+// Total returns the source's total payment Σ_k p_i^k, accumulated in
+// increasing node-id order. Float addition is not associative, so a
+// map-order sum would differ run to run (and between a shard-local
+// quote and its full-graph reference); the fixed order keeps every
+// replica — including the serving daemon's remapped quotes —
+// bit-identical.
 func (q *Quote) Total() float64 {
+	ids := make([]int, 0, len(q.Payments))
+	for k := range q.Payments {
+		ids = append(ids, k)
+	}
+	sort.Ints(ids)
 	t := 0.0
-	for _, p := range q.Payments {
-		t += p
+	for _, k := range ids {
+		t += q.Payments[k]
 	}
 	return t
 }

@@ -50,6 +50,21 @@ func (sv *Solver) acquire(n int) *solverSpace {
 
 func (sv *Solver) release(w *solverSpace) { sv.pool.Put(w) }
 
+// Warm pre-populates the pool with k workspaces sized for n-node
+// graphs, so a long-lived service (one Solver per topology shard)
+// pays workspace construction at startup instead of inside its first
+// k concurrent requests. The k acquisitions count as pool misses —
+// they are the misses the warm-up is absorbing.
+func (sv *Solver) Warm(n, k int) {
+	ws := make([]*solverSpace, 0, k)
+	for i := 0; i < k; i++ {
+		ws = append(ws, sv.acquire(n))
+	}
+	for _, w := range ws {
+		sv.release(w)
+	}
+}
+
 // Quote computes the §III.A mechanism output for one request,
 // allocating a fresh Quote the caller may retain. See QuoteInto for
 // the allocation-free variant.

@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"truthroute/internal/graph"
+	"truthroute/internal/obs"
 	"truthroute/internal/sp"
 )
 
@@ -234,5 +235,41 @@ func TestAllQuotesParallelValidation(t *testing.T) {
 		if q != nil {
 			t.Fatal("out-of-range dest produced a quote")
 		}
+	}
+}
+
+// TestSolverWarm: Warm absorbs all pool misses up front, so every
+// quote after startup is a pool hit — the property the serving
+// daemon relies on so request one doesn't pay workspace construction.
+func TestSolverWarm(t *testing.T) {
+	g := graph.Grid(8, 8)
+	g.RandomizeCosts(0.5, 5, rand.New(rand.NewPCG(7, 1)))
+	g.CSR()
+	obs.Reset()
+	obs.Enable()
+	t.Cleanup(func() {
+		obs.Disable()
+		obs.Reset()
+	})
+	sv := NewSolver()
+	const warmed = 2
+	sv.Warm(g.N(), warmed)
+	s := obs.Default.Snapshot()
+	if got := s.Counters["core.pool_misses"]; got != warmed {
+		t.Fatalf("Warm(%d) recorded %d pool misses", warmed, got)
+	}
+	var q Quote
+	const quotes = 8
+	for i := 0; i < quotes; i++ {
+		if err := sv.QuoteInto(&q, g, 0, g.N()-1, EngineFast); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s = obs.Default.Snapshot()
+	if got := s.Counters["core.pool_misses"]; got != warmed {
+		t.Errorf("sequential quotes after Warm recorded %d misses, want %d (warm-up only)", got, warmed)
+	}
+	if got := s.Counters["core.pool_hits"]; got != quotes {
+		t.Errorf("pool hits = %d, want %d", got, quotes)
 	}
 }

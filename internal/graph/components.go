@@ -1,0 +1,91 @@
+package graph
+
+import "fmt"
+
+// Components returns the connected components of g as slices of node
+// ids in increasing order, with the components themselves ordered by
+// smallest member. An isolated node forms a singleton component. This
+// is the sharding key of the quote-serving daemon: quotes never cross
+// a component boundary, so each component can be served by an
+// independent single-writer shard.
+func (g *NodeGraph) Components() [][]int {
+	n := g.N()
+	seen := make([]bool, n)
+	var out [][]int
+	var stack []int
+	for root := 0; root < n; root++ {
+		if seen[root] {
+			continue
+		}
+		seen[root] = true
+		stack = append(stack[:0], root)
+		comp := []int{root}
+		for len(stack) > 0 {
+			u := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, v := range g.adj[u] {
+				if !seen[v] {
+					seen[v] = true
+					comp = append(comp, v)
+					stack = append(stack, v)
+				}
+			}
+		}
+		// DFS discovery order is arbitrary; components are id-sorted
+		// so every caller sees the same labelling.
+		insertionSort(comp)
+		out = append(out, comp)
+	}
+	return out
+}
+
+// InducedSubgraph returns the subgraph induced by nodes: a graph on
+// len(nodes) vertices where local id i carries the cost of global
+// node nodes[i], with an edge between two locals exactly when g has
+// the edge between their globals. nodes must be strictly increasing
+// valid ids — the mapping is then monotone, so local adjacency lists
+// inherit the global sorted order and tie-breaking in any traversal
+// is preserved bit-for-bit (the property the serving layer's
+// differential oracle relies on).
+func (g *NodeGraph) InducedSubgraph(nodes []int) *NodeGraph {
+	local := make([]int, g.N())
+	for i := range local {
+		local[i] = -1
+	}
+	for i, v := range nodes {
+		if v < 0 || v >= g.N() {
+			panic(fmt.Sprintf("graph: InducedSubgraph node %d out of range", v))
+		}
+		if i > 0 && nodes[i-1] >= v {
+			panic(fmt.Sprintf("graph: InducedSubgraph nodes not strictly increasing at %d", v))
+		}
+		local[v] = i
+	}
+	sub := NewNodeGraph(len(nodes))
+	for i, v := range nodes {
+		sub.cost[i] = g.cost[v]
+		for _, w := range g.adj[v] {
+			if lw := local[w]; lw >= 0 {
+				sub.adj[i] = append(sub.adj[i], lw)
+			}
+		}
+	}
+	return sub
+}
+
+// insertionSort sorts a small int slice in place. Components are
+// typically tiny relative to n and already mostly ordered (BFS from
+// the smallest root discovers ids roughly increasing), so this beats
+// pulling in sort.Ints' interface machinery on the hot construction
+// path — and keeps Components allocation-light.
+func insertionSort(a []int) {
+	for i := 1; i < len(a); i++ {
+		v := a[i]
+		j := i - 1
+		for j >= 0 && a[j] > v {
+			a[j+1] = a[j]
+			j--
+		}
+		a[j+1] = v
+	}
+}

@@ -1,0 +1,143 @@
+package graph
+
+import (
+	"math/rand/v2"
+	"reflect"
+	"testing"
+)
+
+func TestComponents(t *testing.T) {
+	g := NewNodeGraph(7)
+	// {0,1,2} a triangle, {3,4} an edge, {5} isolated, {6} isolated.
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(2, 0)
+	g.AddEdge(4, 3)
+	got := g.Components()
+	want := [][]int{{0, 1, 2}, {3, 4}, {5}, {6}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Components() = %v, want %v", got, want)
+	}
+}
+
+func TestComponentsEmptyAndConnected(t *testing.T) {
+	if got := NewNodeGraph(0).Components(); len(got) != 0 {
+		t.Fatalf("empty graph: got %v components", got)
+	}
+	g := Ring(5)
+	got := g.Components()
+	if len(got) != 1 || !reflect.DeepEqual(got[0], []int{0, 1, 2, 3, 4}) {
+		t.Fatalf("ring: got %v", got)
+	}
+}
+
+func TestComponentsPartitionAndSorted(t *testing.T) {
+	rng := rand.New(rand.NewPCG(11, 0))
+	g := ErdosRenyi(60, 0.03, rng)
+	comps := g.Components()
+	seen := make([]int, g.N())
+	count := 0
+	for ci, comp := range comps {
+		for i, v := range comp {
+			if i > 0 && comp[i-1] >= v {
+				t.Fatalf("component %d not strictly increasing: %v", ci, comp)
+			}
+			seen[v]++
+			count++
+		}
+	}
+	if count != g.N() {
+		t.Fatalf("components cover %d of %d nodes", count, g.N())
+	}
+	for v, c := range seen {
+		if c != 1 {
+			t.Fatalf("node %d appears in %d components", v, c)
+		}
+	}
+	// Any two nodes in the same component are mutually reachable;
+	// nodes in different components are not.
+	for _, comp := range comps {
+		mask := g.ReachableFrom(comp[0], nil)
+		for v := 0; v < g.N(); v++ {
+			inComp := false
+			for _, u := range comp {
+				if u == v {
+					inComp = true
+					break
+				}
+			}
+			if mask[v] != inComp {
+				t.Fatalf("reachability of %d from %d = %v, in-component = %v", v, comp[0], mask[v], inComp)
+			}
+		}
+	}
+}
+
+func TestInducedSubgraph(t *testing.T) {
+	g := NewNodeGraph(6)
+	g.AddEdge(0, 2)
+	g.AddEdge(2, 4)
+	g.AddEdge(4, 0)
+	g.AddEdge(1, 3)
+	for v := 0; v < 6; v++ {
+		g.SetCost(v, float64(10+v))
+	}
+	sub := g.InducedSubgraph([]int{0, 2, 4})
+	if sub.N() != 3 || sub.M() != 3 {
+		t.Fatalf("sub: n=%d m=%d, want 3/3", sub.N(), sub.M())
+	}
+	for i, global := range []int{0, 2, 4} {
+		if sub.Cost(i) != g.Cost(global) {
+			t.Fatalf("cost of local %d = %v, want %v", i, sub.Cost(i), g.Cost(global))
+		}
+	}
+	for _, e := range [][2]int{{0, 1}, {1, 2}, {0, 2}} {
+		if !sub.HasEdge(e[0], e[1]) {
+			t.Fatalf("missing local edge %v", e)
+		}
+	}
+}
+
+func TestInducedSubgraphDropsOutsideEdges(t *testing.T) {
+	g := NewNodeGraph(4)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(2, 3)
+	sub := g.InducedSubgraph([]int{0, 1, 3})
+	if sub.M() != 1 || !sub.HasEdge(0, 1) {
+		t.Fatalf("sub edges = %v, want only {0,1}", sub.Edges())
+	}
+}
+
+func TestInducedSubgraphPanics(t *testing.T) {
+	g := NewNodeGraph(3)
+	for _, bad := range [][]int{{0, 2, 1}, {1, 1}, {-1}, {0, 3}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("InducedSubgraph(%v) did not panic", bad)
+				}
+			}()
+			g.InducedSubgraph(bad)
+		}()
+	}
+}
+
+func TestInducedSubgraphOfComponentMatchesDijkstraOrder(t *testing.T) {
+	// The serving layer relies on the monotone relabelling preserving
+	// adjacency order: neighbours of a local node must appear in the
+	// same relative order as their globals.
+	rng := rand.New(rand.NewPCG(5, 0))
+	g := ErdosRenyi(40, 0.05, rng)
+	for _, comp := range g.Components() {
+		sub := g.InducedSubgraph(comp)
+		for li, global := range comp {
+			nbs := sub.Neighbors(li)
+			for i := 1; i < len(nbs); i++ {
+				if nbs[i-1] >= nbs[i] {
+					t.Fatalf("local adjacency of %d (global %d) not sorted: %v", li, global, nbs)
+				}
+			}
+		}
+	}
+}

@@ -27,19 +27,17 @@ type Server struct {
 // process.
 var publishOnce sync.Once
 
-// Serve starts a debug server on addr (host:port; port 0 picks a free
-// one). The server runs until Close.
-func Serve(addr string) (*Server, error) {
-	ln, err := net.Listen("tcp", addr)
-	if err != nil {
-		return nil, fmt.Errorf("obs: listen %s: %w", addr, err)
-	}
+// AddDebugHandlers mounts the introspection surface — /metrics,
+// /metrics.txt, /debug/vars and /debug/pprof/* — on mux. Serve uses
+// it for the standalone debug server; the quote-serving daemon mounts
+// the same surface on its own serving mux so one listener carries
+// both traffic and diagnostics.
+func AddDebugHandlers(mux *http.ServeMux) {
 	publishOnce.Do(func() {
 		expvar.Publish("truthroute", expvar.Func(func() any {
 			return Default.Snapshot()
 		}))
 	})
-	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		// A write error here means the client hung up mid-response;
@@ -56,6 +54,17 @@ func Serve(addr string) (*Server, error) {
 	mux.HandleFunc("/debug/pprof/profile", httppprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", httppprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", httppprof.Trace)
+}
+
+// Serve starts a debug server on addr (host:port; port 0 picks a free
+// one). The server runs until Close.
+func Serve(addr string) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: listen %s: %w", addr, err)
+	}
+	mux := http.NewServeMux()
+	AddDebugHandlers(mux)
 	s := &Server{
 		URL: "http://" + ln.Addr().String(),
 		srv: &http.Server{Handler: mux},

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"io"
 	"net/http"
+	"net/http/httptest"
 	"strings"
 	"testing"
 )
@@ -81,5 +82,28 @@ func TestServe(t *testing.T) {
 func TestServeBadAddr(t *testing.T) {
 	if _, err := Serve("500.500.500.500:99999"); err == nil {
 		t.Fatal("Serve on a nonsense address succeeded")
+	}
+}
+
+// TestAddDebugHandlers: the same surface Serve exposes can be mounted
+// on a caller-owned mux (the quote-serving daemon does this so one
+// listener carries both quotes and diagnostics).
+func TestAddDebugHandlers(t *testing.T) {
+	enableForTest(t)
+	c := NewCounter("obs_http_test.mounted")
+	c.Add(7)
+	t.Cleanup(Reset)
+
+	mux := http.NewServeMux()
+	AddDebugHandlers(mux)
+	for _, path := range []string{"/metrics", "/metrics.txt", "/debug/vars", "/debug/pprof/"} {
+		rec := httptest.NewRecorder()
+		mux.ServeHTTP(rec, httptest.NewRequest("GET", path, nil))
+		if rec.Code != http.StatusOK {
+			t.Errorf("GET %s = %d, want 200", path, rec.Code)
+		}
+		if path == "/metrics" && !strings.Contains(rec.Body.String(), "obs_http_test.mounted") {
+			t.Errorf("/metrics missing mounted counter: %s", rec.Body.String())
+		}
 	}
 }

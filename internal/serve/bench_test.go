@@ -1,0 +1,128 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math/rand/v2"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"truthroute/internal/graph"
+)
+
+func benchServer(b *testing.B, n int) *Server {
+	b.Helper()
+	rng := rand.New(rand.NewPCG(0xbe9c, 1))
+	g := graph.RandomBiconnected(n, 0.2, rng)
+	g.RandomizeCosts(0.5, 8, rng)
+	s := New(g, Config{MaxInFlight: 4096})
+	b.Cleanup(s.Drain)
+	return s
+}
+
+func doBenchReq(s *Server, method, target string, body []byte) *httptest.ResponseRecorder {
+	var r *http.Request
+	if body == nil {
+		r = httptest.NewRequest(method, target, nil)
+	} else {
+		r = httptest.NewRequest(method, target, bytes.NewReader(body))
+	}
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, r)
+	return rec
+}
+
+// BenchmarkServeQuoteCached measures the steady-state read path: the
+// per-(source, engine, target) memo is warm, so each request is one
+// atomic snapshot load, one cache hit, and the response write.
+func BenchmarkServeQuoteCached(b *testing.B) {
+	s := benchServer(b, 64)
+	if rec := doBenchReq(s, "GET", "/quote?src=0&dst=40", nil); rec.Code != http.StatusOK {
+		b.Fatalf("warmup status %d", rec.Code)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if rec := doBenchReq(s, "GET", "/quote?src=0&dst=40", nil); rec.Code != http.StatusOK {
+			b.Fatalf("status %d", rec.Code)
+		}
+	}
+}
+
+// BenchmarkServeQuoteCold measures the uncached path: every request
+// lands on a fresh epoch, so the shard rebuilds the source's LCP tree
+// and quote memo — the cost an update storm imposes on the next
+// reader per source.
+func BenchmarkServeQuoteCold(b *testing.B) {
+	s := benchServer(b, 64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		// Flip the epoch outside the timed section; vary the cost so
+		// consecutive snapshots genuinely differ.
+		blob, err := json.Marshal(UpdateRequest{Updates: []CostUpdate{
+			{Node: 7, Cost: 1 + float64(i%9)*0.5},
+		}})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rec := doBenchReq(s, "POST", "/update", blob); rec.Code != http.StatusOK {
+			b.Fatalf("update status %d", rec.Code)
+		}
+		b.StartTimer()
+		if rec := doBenchReq(s, "GET", "/quote?src=0&dst=40", nil); rec.Code != http.StatusOK {
+			b.Fatalf("status %d", rec.Code)
+		}
+	}
+}
+
+// BenchmarkServeUpdateBatch measures an epoch flip: validate the
+// batch, copy the cost vector, re-price via the shared CSR, publish
+// the next snapshot.
+func BenchmarkServeUpdateBatch(b *testing.B) {
+	s := benchServer(b, 64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		blob, err := json.Marshal(UpdateRequest{Updates: []CostUpdate{
+			{Node: 3, Cost: 1 + float64(i%7)},
+			{Node: 41, Cost: 2 + float64(i%5)},
+		}})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rec := doBenchReq(s, "POST", "/update", blob); rec.Code != http.StatusOK {
+			b.Fatalf("update status %d", rec.Code)
+		}
+	}
+}
+
+// BenchmarkServeQuoteLoad drives the in-process server through the
+// quoteload harness and reports latency percentiles and achieved
+// throughput as custom metrics, folding serving performance into the
+// BENCH_payments.json artifact alongside the solver benchmarks.
+func BenchmarkServeQuoteLoad(b *testing.B) {
+	const n = 64
+	s := benchServer(b, n)
+	do := func(src, dst int) (int, error) {
+		rec := doBenchReq(s, "GET", fmt.Sprintf("/quote?src=%d&dst=%d", src, dst), nil)
+		return rec.Code, nil
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	res, err := RunLoad(do, LoadOptions{N: n, Workers: 4, Requests: b.N, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.StopTimer()
+	if res.Errors > 0 {
+		b.Fatalf("%d load errors", res.Errors)
+	}
+	b.ReportMetric(float64(res.Percentile(50).Nanoseconds()), "p50-ns")
+	b.ReportMetric(float64(res.Percentile(95).Nanoseconds()), "p95-ns")
+	b.ReportMetric(float64(res.Percentile(99).Nanoseconds()), "p99-ns")
+	b.ReportMetric(res.QPS(), "qps")
+}

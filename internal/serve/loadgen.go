@@ -1,0 +1,232 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+	"math/rand/v2"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+)
+
+// This file is the load-test harness behind cmd/quoteload and
+// BenchmarkServeQuoteLoad: deterministic seeded closed-loop workers
+// driving any quote transport at an optional target QPS, aggregating
+// latency percentiles. The transport is abstracted as a do function
+// so the CLI measures the daemon over real HTTP while benchmarks
+// drive ServeHTTP in-process.
+
+// now reads the wall clock for load measurement.
+//
+//lint:allow determinism the load harness measures real latency and throughput; it never feeds mechanism output
+func now() time.Time { return time.Now() }
+
+// LoadOptions configures a load run. Exactly one of Requests and
+// Duration must be positive.
+type LoadOptions struct {
+	// N is the node-id space (src, dst) pairs are drawn from,
+	// uniformly with src != dst.
+	N int
+	// Workers is the number of closed-loop workers: each has at most
+	// one request outstanding and issues the next only after the
+	// previous response. Default 4.
+	Workers int
+	// QPS is the aggregate target rate the workers pace themselves
+	// to; 0 issues as fast as the loops close. A worker that falls
+	// behind its schedule does not burst to catch up.
+	QPS float64
+	// Requests is the total request budget, split across workers.
+	Requests int
+	// Duration is the wall-clock budget, an alternative stop rule.
+	Duration time.Duration
+	// Seed makes pair selection deterministic per (Seed, worker).
+	Seed uint64
+	// Engine optionally pins ?engine= on generated requests.
+	Engine string
+}
+
+// LoadResult aggregates one load run. Latency percentiles cover
+// answered requests (200 and 404 both exercise the read path);
+// admission refusals (429) count as backpressure, not latency.
+type LoadResult struct {
+	Requests int // requests issued
+	OK       int // 200 responses
+	NoPath   int // 404 responses (cross-component pairs)
+	Rejected int // 429 admission refusals
+	Errors   int // transport failures and unexpected statuses
+	Elapsed  time.Duration
+
+	latencies []time.Duration
+	sorted    bool
+}
+
+// QPS is the achieved throughput: answered requests per second.
+func (r *LoadResult) QPS() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.OK+r.NoPath) / r.Elapsed.Seconds()
+}
+
+// Percentile returns the p-th latency percentile (nearest-rank, p in
+// (0, 100]) over answered requests, or 0 when none were answered.
+func (r *LoadResult) Percentile(p float64) time.Duration {
+	if len(r.latencies) == 0 {
+		return 0
+	}
+	if !r.sorted {
+		sort.Slice(r.latencies, func(i, j int) bool { return r.latencies[i] < r.latencies[j] })
+		r.sorted = true
+	}
+	idx := int(p/100*float64(len(r.latencies))+0.5) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(r.latencies) {
+		idx = len(r.latencies) - 1
+	}
+	return r.latencies[idx]
+}
+
+// String renders the one-line human summary quoteload prints.
+func (r *LoadResult) String() string {
+	return fmt.Sprintf(
+		"%d requests in %.2fs: %d ok, %d no-path, %d rejected, %d errors; %.0f qps; p50 %s p95 %s p99 %s",
+		r.Requests, r.Elapsed.Seconds(), r.OK, r.NoPath, r.Rejected, r.Errors,
+		r.QPS(), r.Percentile(50), r.Percentile(95), r.Percentile(99))
+}
+
+// BenchLine renders the run as one `go test -bench -benchmem`-style
+// line so `quoteload | benchreport -input -` folds load results into
+// the BENCH_payments.json artifact next to the solver benchmarks.
+func (r *LoadResult) BenchLine(name string) string {
+	answered := r.OK + r.NoPath
+	nsPerOp := 0.0
+	if answered > 0 {
+		nsPerOp = float64(r.Elapsed.Nanoseconds()) / float64(answered)
+	}
+	return fmt.Sprintf("%s %d %.1f ns/op %d p50-ns %d p95-ns %d p99-ns %.1f qps",
+		name, answered, nsPerOp,
+		r.Percentile(50).Nanoseconds(), r.Percentile(95).Nanoseconds(),
+		r.Percentile(99).Nanoseconds(), r.QPS())
+}
+
+type workerStats struct {
+	requests, ok, noPath, rejected, errs int
+	latencies                            []time.Duration
+}
+
+// RunLoad drives do with opt.Workers closed-loop workers and merges
+// their stats. do returns the HTTP status of one quote request for
+// the given (src, dst) pair, or a transport error.
+func RunLoad(do func(src, dst int) (int, error), opt LoadOptions) (*LoadResult, error) {
+	if opt.N < 2 {
+		return nil, fmt.Errorf("serve: load needs at least 2 nodes, have %d", opt.N)
+	}
+	if opt.Requests <= 0 && opt.Duration <= 0 {
+		return nil, fmt.Errorf("serve: load needs a request or duration budget")
+	}
+	workers := opt.Workers
+	if workers <= 0 {
+		workers = 4
+	}
+	if opt.Requests > 0 && workers > opt.Requests {
+		workers = opt.Requests
+	}
+	var tick time.Duration
+	if opt.QPS > 0 {
+		tick = time.Duration(float64(workers) / opt.QPS * float64(time.Second))
+	}
+	start := now()
+	var deadline time.Time
+	if opt.Duration > 0 {
+		deadline = start.Add(opt.Duration)
+	}
+	stats := make([]workerStats, workers)
+	var wg sync.WaitGroup
+	for wk := 0; wk < workers; wk++ {
+		budget := 0
+		if opt.Requests > 0 {
+			budget = opt.Requests / workers
+			if wk < opt.Requests%workers {
+				budget++
+			}
+		}
+		wg.Add(1)
+		go func(wk, budget int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewPCG(opt.Seed, uint64(wk)+1))
+			st := &stats[wk]
+			// Phase-spread the workers so a paced run doesn't fire
+			// all workers on the same schedule tick.
+			next := start.Add(tick * time.Duration(wk) / time.Duration(workers))
+			for i := 0; budget == 0 || i < budget; i++ {
+				if !deadline.IsZero() && !now().Before(deadline) {
+					break
+				}
+				if tick > 0 {
+					if d := next.Sub(now()); d > 0 {
+						time.Sleep(d)
+					}
+					next = next.Add(tick)
+				}
+				src := rng.IntN(opt.N)
+				dst := rng.IntN(opt.N - 1)
+				if dst >= src {
+					dst++
+				}
+				t0 := now()
+				status, err := do(src, dst)
+				d := now().Sub(t0)
+				st.requests++
+				switch {
+				case err != nil:
+					st.errs++
+				case status == http.StatusOK:
+					st.ok++
+					st.latencies = append(st.latencies, d)
+				case status == http.StatusNotFound:
+					st.noPath++
+					st.latencies = append(st.latencies, d)
+				case status == http.StatusTooManyRequests:
+					st.rejected++
+				default:
+					st.errs++
+				}
+			}
+		}(wk, budget)
+	}
+	wg.Wait()
+	res := &LoadResult{Elapsed: now().Sub(start)}
+	for i := range stats {
+		st := &stats[i]
+		res.Requests += st.requests
+		res.OK += st.ok
+		res.NoPath += st.noPath
+		res.Rejected += st.rejected
+		res.Errors += st.errs
+		res.latencies = append(res.latencies, st.latencies...)
+	}
+	return res, nil
+}
+
+// HTTPQuoteDo returns a do function for RunLoad that issues real
+// GET /quote requests against base (e.g. "http://127.0.0.1:8437")
+// using client. The response body is drained so connections are
+// reused.
+func HTTPQuoteDo(client *http.Client, base, engine string) func(src, dst int) (int, error) {
+	return func(src, dst int) (int, error) {
+		url := fmt.Sprintf("%s/quote?src=%d&dst=%d", base, src, dst)
+		if engine != "" {
+			url += "&engine=" + engine
+		}
+		resp, err := client.Get(url)
+		if err != nil {
+			return 0, err
+		}
+		_, _ = io.Copy(io.Discard, resp.Body)
+		_ = resp.Body.Close()
+		return resp.StatusCode, nil
+	}
+}

@@ -1,0 +1,41 @@
+package serve
+
+import "truthroute/internal/obs"
+
+// Server-side observability (DESIGN.md §10 conventions): every metric
+// is a no-op until obs.Enable, so the daemon turns the layer on at
+// startup while library users pay one atomic load per site.
+var (
+	// obsQuotesServed counts 200 quote responses; obsNoPath the 404s
+	// (cross-component pairs); obsBadRequests the 400s.
+	obsQuotesServed = obs.NewCounter("serve.quotes_served")
+	obsNoPath       = obs.NewCounter("serve.no_path")
+	obsBadRequests  = obs.NewCounter("serve.bad_requests")
+	// obsRejected counts admission-control refusals (429) — the
+	// backpressure signal, distinct from errors.
+	obsRejected = obs.NewCounter("serve.rejected_overload")
+	// obsBatches counts epoch flips; obsUpdatesApplied the individual
+	// cost updates inside them.
+	obsBatches        = obs.NewCounter("serve.batches_applied")
+	obsUpdatesApplied = obs.NewCounter("serve.cost_updates_applied")
+	// obsCacheHits/Misses split quote lookups by whether the epoch's
+	// memo already held the marshalled response; obsTreesBuilt counts
+	// per-source LCP tree constructions (at most sources×epochs).
+	obsCacheHits   = obs.NewCounter("serve.quote_cache_hits")
+	obsCacheMisses = obs.NewCounter("serve.quote_cache_misses")
+	obsTreesBuilt  = obs.NewCounter("serve.lcp_trees_built")
+	// obsDrains counts completed graceful drains.
+	obsDrains = obs.NewCounter("serve.drains")
+
+	// obsShards/obsNodes describe the served topology; obsEpochMax is
+	// the highest epoch published by any shard; obsInflightPeak the
+	// admission semaphore's high-water mark.
+	obsShards       = obs.NewGauge("serve.shards")
+	obsNodes        = obs.NewGauge("serve.nodes")
+	obsEpochMax     = obs.NewGauge("serve.epoch_max")
+	obsInflightPeak = obs.NewGauge("serve.inflight_peak")
+
+	// obsLatencyNS is the server-side quote latency (parse to
+	// response written).
+	obsLatencyNS = obs.NewHistogram("serve.quote_latency_ns", obs.LatencyBuckets())
+)

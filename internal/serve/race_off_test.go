@@ -1,0 +1,6 @@
+//go:build !race
+
+package serve
+
+// raceEnabled gates allocation-count assertions; see race_on_test.go.
+const raceEnabled = false

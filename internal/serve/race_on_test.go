@@ -1,0 +1,8 @@
+//go:build race
+
+package serve
+
+// raceEnabled gates allocation-count assertions: the race detector
+// instruments allocations, so testing.AllocsPerRun is only meaningful
+// in non-race builds.
+const raceEnabled = true

@@ -1,0 +1,194 @@
+package serve
+
+import (
+	"encoding/json"
+	"sync"
+	"sync/atomic"
+
+	"truthroute/internal/core"
+	"truthroute/internal/graph"
+	"truthroute/internal/sp"
+)
+
+// CostUpdate is one declared-cost change inside an update batch.
+// Node is a global node id; Cost is the node's new declared relay
+// cost (finite, non-negative).
+type CostUpdate struct {
+	Node int     `json:"node"`
+	Cost float64 `json:"cost"`
+}
+
+// batchReq carries one shard-local update batch to the shard's writer
+// goroutine; reply receives the epoch the batch was published as.
+type batchReq struct {
+	updates []CostUpdate // node ids already remapped to shard-local
+	reply   chan uint64
+}
+
+// shard serves one connected component of the topology. All reads go
+// through an immutable epoch snapshot behind an atomic pointer —
+// readers never lock and never observe a half-applied batch — and all
+// writes funnel through a single writer goroutine, so epochs are
+// strictly monotone and batches are serialized without a mutex on the
+// read path. This is the same RCU shape as graph.CSR's atomic-pointer
+// cache, lifted from "topology view" to "priced topology + caches".
+type shard struct {
+	id      int
+	globals []int // local id -> global id; strictly increasing
+	solver  *core.Solver
+	snap    atomic.Pointer[snapshot]
+	batches chan batchReq
+	done    chan struct{}
+}
+
+// snapshot is one immutable epoch: a cost view sharing the shard's
+// adjacency and built CSR, plus per-source caches that live exactly
+// as long as the epoch is current. Cost drift publishes a new
+// snapshot, so every cache is invalidated wholesale by the epoch flip
+// itself — there is no per-entry invalidation protocol to get wrong.
+type snapshot struct {
+	epoch uint64
+	g     *graph.NodeGraph
+	src   []sourceCache
+}
+
+// sourceCache holds one source's lazily built state for the lifetime
+// of a snapshot: its least-cost-path tree and the fully marshalled
+// quotes already served from it.
+type sourceCache struct {
+	tree   atomic.Pointer[sp.Tree]
+	quotes sync.Map // int64 key engine<<32|target -> []byte quote JSON
+}
+
+func newSnapshot(epoch uint64, g *graph.NodeGraph) *snapshot {
+	return &snapshot{epoch: epoch, g: g, src: make([]sourceCache, g.N())}
+}
+
+// newShard carves component comp out of g, warms the shard's solver
+// pool, publishes epoch 1, and starts the single writer.
+func newShard(id int, g *graph.NodeGraph, comp []int, warm int) *shard {
+	sub := g.InducedSubgraph(comp)
+	sub.CSR() // built once here; every epoch's cost view shares it
+	sh := &shard{
+		id:      id,
+		globals: comp,
+		solver:  core.NewSolver(),
+		batches: make(chan batchReq),
+		done:    make(chan struct{}),
+	}
+	sh.solver.Warm(sub.N(), warm)
+	sh.snap.Store(newSnapshot(1, sub))
+	go sh.writer()
+	return sh
+}
+
+// writer is the shard's only mutator. Each batch is applied to a copy
+// of the current cost vector and published as one atomic pointer
+// store: a reader that loaded the old snapshot keeps computing on it
+// undisturbed, a reader that loads after the store sees every update
+// in the batch. The graph view shares adjacency and CSR with its
+// predecessor — an epoch flip re-prices, it never re-extracts
+// topology.
+func (sh *shard) writer() {
+	defer close(sh.done)
+	for req := range sh.batches {
+		cur := sh.snap.Load()
+		costs := cur.g.Costs()
+		for _, u := range req.updates {
+			costs[u.Node] = u.Cost
+		}
+		next := newSnapshot(cur.epoch+1, cur.g.WithCosts(costs))
+		sh.snap.Store(next)
+		obsBatches.Inc()
+		obsUpdatesApplied.Add(uint64(len(req.updates)))
+		obsEpochMax.SetMax(int64(next.epoch))
+		req.reply <- next.epoch
+	}
+}
+
+// apply submits one validated shard-local batch and blocks until its
+// epoch is published.
+func (sh *shard) apply(updates []CostUpdate) uint64 {
+	reply := make(chan uint64, 1)
+	sh.batches <- batchReq{updates: updates, reply: reply}
+	return <-reply
+}
+
+// stop shuts the writer down after all in-flight batches have been
+// published. The server drains admitted requests first, so no apply
+// can race the close.
+func (sh *shard) stop() {
+	close(sh.batches)
+	<-sh.done
+}
+
+// tree returns the snapshot's cached least-cost-path tree rooted at
+// local source ls, building it on first use. Concurrent builders race
+// benignly: both compute the same deterministic tree and the losing
+// CompareAndSwap discards its copy, mirroring graph.CSR's build race.
+func (sh *shard) tree(snap *snapshot, ls int) *sp.Tree {
+	sc := &snap.src[ls]
+	if t := sc.tree.Load(); t != nil {
+		return t
+	}
+	obsTreesBuilt.Inc()
+	t := sp.NodeDijkstra(snap.g, ls, nil)
+	if sc.tree.CompareAndSwap(nil, t) {
+		return t
+	}
+	return sc.tree.Load()
+}
+
+// quote serves the marshalled global-id quote for (ls, lt) on snap,
+// memoizing per (engine, source, target) for the snapshot's lifetime.
+// Repeated requests within an epoch are served the identical bytes.
+func (sh *shard) quote(snap *snapshot, ls, lt int, engine core.Engine) ([]byte, error) {
+	sc := &snap.src[ls]
+	key := int64(engine)<<32 | int64(lt)
+	if v, ok := sc.quotes.Load(key); ok {
+		obsCacheHits.Inc()
+		return v.([]byte), nil
+	}
+	obsCacheMisses.Inc()
+	body, err := sh.computeQuote(snap, ls, lt, engine)
+	if err != nil {
+		return nil, err
+	}
+	if v, loaded := sc.quotes.LoadOrStore(key, body); loaded {
+		// A concurrent filler won the store; serve its copy so every
+		// response for this key aliases one allocation.
+		return v.([]byte), nil
+	}
+	return body, nil
+}
+
+// computeQuote runs the mechanism on the snapshot and marshals the
+// result with local ids remapped to global ones. The remapping is
+// monotone (globals is increasing), so the served path and payments
+// are bit-identical to a direct core.Solver run on the full topology
+// — the property the differential harness asserts.
+func (sh *shard) computeQuote(snap *snapshot, ls, lt int, engine core.Engine) ([]byte, error) {
+	if !sh.tree(snap, ls).Reachable(lt) {
+		// Unreachable inside a connected component cannot happen with
+		// finite costs; kept as defence in depth.
+		return nil, core.ErrNoPath
+	}
+	var local core.Quote
+	if err := sh.solver.QuoteInto(&local, snap.g, ls, lt, engine); err != nil {
+		return nil, err
+	}
+	global := core.Quote{
+		Source:   sh.globals[local.Source],
+		Target:   sh.globals[local.Target],
+		Cost:     local.Cost,
+		Path:     make([]int, len(local.Path)),
+		Payments: make(map[int]float64, len(local.Payments)),
+	}
+	for i, v := range local.Path {
+		global.Path[i] = sh.globals[v]
+	}
+	for v, p := range local.Payments {
+		global.Payments[sh.globals[v]] = p
+	}
+	return json.Marshal(&global)
+}

@@ -7,6 +7,7 @@
 #   ./verify.sh lint           gofmt, dependency-free go.mod, truthlint (+ bite check)
 #   ./verify.sh test           coverage-gated tests + allocation-regression gates
 #   ./verify.sh race           the race detector over every package
+#   ./verify.sh serve          daemon end-to-end: differential + race tests, live smoke load
 #   ./verify.sh fuzz [TARGET]  fuzz smoke; one named target, or all of them
 #   ./verify.sh bench          regenerate BENCH_payments.json
 #   ./verify.sh all            every stage above (fuzz runs all targets)
@@ -96,6 +97,54 @@ stage_bench() (
     go run ./cmd/benchreport -benchtime "${BENCHTIME:-1x}" -out BENCH_payments.json
 )
 
+stage_serve() {
+    # Serving gate: the daemon's end-to-end story. First the oracle
+    # tests, forced fresh (-count=1): the differential suite (every
+    # served quote byte-identical to a direct solver run on the
+    # response's epoch) plain and under the race detector, plus the
+    # steady-state allocation gate on the shard compute path. Then a
+    # real daemon serves a netgen topology over TCP, survives a short
+    # quoteload smoke with zero transport errors, and drains cleanly
+    # on SIGTERM.
+    ( set -x
+      go test ./internal/serve/ -count=1
+      go test ./internal/serve/ -race -count=1 \
+        -run 'TestServeDifferentialVsSolver|TestServeSnapshotConsistencyUnderRace|TestServeCrashMidBatchRestart' )
+
+    tmp=$(mktemp -d)
+    daemon=""
+    cleanup_serve() {
+        [ -n "$daemon" ] && kill "$daemon" 2>/dev/null
+        rm -rf "$tmp"
+    }
+    trap 'cleanup_serve' EXIT
+    ( set -x
+      go build -o "$tmp/truthrouted" ./cmd/truthrouted
+      go build -o "$tmp/quoteload" ./cmd/quoteload
+      go build -o "$tmp/netgen" ./cmd/netgen )
+    "$tmp/netgen" -n 96 -seed 11 > "$tmp/net.json"
+    "$tmp/truthrouted" -topology "$tmp/net.json" -addr 127.0.0.1:0 -addr-file "$tmp/addr" &
+    daemon=$!
+    tries=0
+    while [ ! -s "$tmp/addr" ]; do
+        tries=$((tries + 1))
+        if [ "$tries" -gt 100 ]; then
+            echo "serve: daemon never wrote its addr file" >&2
+            exit 1
+        fi
+        sleep 0.1
+    done
+    ( set -x
+      "$tmp/quoteload" -addr "file:$tmp/addr" -duration "${SMOKELOAD:-5s}" -workers 8 \
+          -bench BenchmarkServeQuoteLoadHTTP )
+    kill -TERM "$daemon"
+    wait "$daemon"
+    daemon=""
+    rm -rf "$tmp"
+    trap - EXIT
+    echo "serve: smoke load ok, daemon drained cleanly"
+}
+
 # stage_fuzz [TARGET] — each target runs its checked-in corpus plus a
 # short burst of fresh inputs. Go allows one -fuzz pattern per
 # invocation; with no argument every target runs in sequence, with a
@@ -137,6 +186,7 @@ case "$stage" in
     lint)  stage_lint ;;
     test)  stage_test ;;
     race)  stage_race ;;
+    serve) stage_serve ;;
     fuzz)  shift; stage_fuzz "${1:-}" ;;
     bench) stage_bench ;;
     all)
@@ -144,11 +194,12 @@ case "$stage" in
         stage_lint
         stage_test
         stage_race
+        stage_serve
         stage_bench
         stage_fuzz
         ;;
     *)
-        echo "usage: $0 [build|lint|test|race|fuzz [TARGET]|bench|all]" >&2
+        echo "usage: $0 [build|lint|test|race|serve|fuzz [TARGET]|bench|all]" >&2
         exit 2
         ;;
 esac
