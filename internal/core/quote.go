@@ -46,6 +46,17 @@ type Quote struct {
 	Payments map[int]float64
 }
 
+// initPayments allocates the payments map on a Quote's first use. It
+// is outlined from QuoteInto with //go:noinline so the one-time map
+// allocation stays out of the hot path's escape-analysis profile: a
+// recycled Quote takes the clear() branch instead and never comes
+// here.
+//
+//go:noinline
+func (q *Quote) initPayments(n int) {
+	q.Payments = make(map[int]float64, n)
+}
+
 // Total returns the source's total payment Σ_k p_i^k, accumulated in
 // increasing node-id order. Float addition is not associative, so a
 // map-order sum would differ run to run (and between a shard-local

@@ -49,6 +49,8 @@ func (b *csrBox) invalidate() {
 
 // CSR returns the flat adjacency view of the graph, building and
 // caching it on first use. The result is shared: do not modify it.
+//
+//lint:writer racing builders construct identical views from the same adjacency; the CAS loser discards its copy unpublished
 func (g *NodeGraph) CSR() *CSR {
 	if c := g.csr.p.Load(); c != nil {
 		return c

@@ -108,6 +108,8 @@ func (g *LinkGraph) Out(u int) []Arc { return g.out[u] }
 // the destination-rooted protocol runs is as allocation-free as the
 // forward one. The returned slice is owned by the graph and must not
 // be modified.
+//
+//lint:writer racing builders construct identical reversals from the same out-arcs; the CAS loser discards its copy unpublished
 func (g *LinkGraph) In(u int) []Arc {
 	if r := g.rev.Load(); r != nil {
 		return (*r)[u]

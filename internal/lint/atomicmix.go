@@ -1,0 +1,156 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// AtomicMix enforces a single access discipline per shared word. A
+// field updated through sync/atomic anywhere must be accessed
+// atomically everywhere: one plain read beside an atomic.AddUint64 is
+// a data race the race detector only catches when the interleaving
+// cooperates, and a torn counter read is exactly the kind of replica
+// divergence Algorithm 2 escalates into an accusation. The analyzer
+// also rejects the raw-word sync/atomic functions outright in favour
+// of the typed atomics (atomic.Int64, atomic.Pointer[T], ...): a
+// typed atomic makes the mixed-access bug unrepresentable, because
+// the raw word is never addressable.
+var AtomicMix = &Analyzer{
+	Name: "atomicmix",
+	Doc: "a word accessed through sync/atomic must be accessed atomically everywhere; " +
+		"prefer typed atomics (atomic.Int64, atomic.Pointer) over raw-word atomic.* calls",
+	Run: runAtomicMix,
+}
+
+// typedAtomicFor maps a raw-word sync/atomic function name to the
+// typed replacement its suffix implies.
+func typedAtomicFor(name string) string {
+	for _, suffix := range []string{"Int32", "Int64", "Uint32", "Uint64", "Uintptr", "Pointer", "Bool"} {
+		if strings.HasSuffix(name, suffix) {
+			if suffix == "Pointer" {
+				return "atomic.Pointer[T]"
+			}
+			return "atomic." + suffix
+		}
+	}
+	return "a typed atomic"
+}
+
+// isRawAtomicFunc reports whether fn is a package-level sync/atomic
+// function operating on a raw word (Add*, Load*, Store*, Swap*,
+// CompareAndSwap*, And*, Or*).
+func isRawAtomicFunc(fn *types.Func) bool {
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() != nil {
+		return false
+	}
+	for _, prefix := range []string{"Add", "Load", "Store", "Swap", "CompareAndSwap", "And", "Or"} {
+		if strings.HasPrefix(fn.Name(), prefix) {
+			return true
+		}
+	}
+	return false
+}
+
+func runAtomicMix(p *Pass) {
+	// First pass: find the word each raw sync/atomic call addresses
+	// (always the first argument, &x or &x.f), remember the
+	// identifiers used inside those calls so the second pass can tell
+	// sanctioned accesses apart, and flag the raw calls themselves.
+	atomicWords := map[types.Object]token.Pos{} // word -> first atomic access
+	inAtomicCall := map[*ast.Ident]bool{}
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(p.Pkg, call)
+			if !isRawAtomicFunc(fn) {
+				return true
+			}
+			p.Reportf(call.Pos(), "atomic.%s operates on a raw word; use %s so every access is atomic by construction", fn.Name(), typedAtomicFor(fn.Name()))
+			for _, arg := range call.Args {
+				ast.Inspect(arg, func(an ast.Node) bool {
+					if id, ok := an.(*ast.Ident); ok {
+						inAtomicCall[id] = true
+					}
+					return true
+				})
+			}
+			if len(call.Args) > 0 {
+				if obj := addressedWord(p, call.Args[0]); obj != nil {
+					if _, seen := atomicWords[obj]; !seen {
+						atomicWords[obj] = call.Pos()
+					}
+				}
+			}
+			return true
+		})
+	}
+	if len(atomicWords) == 0 {
+		return
+	}
+	// Second pass: any use of an atomically accessed word outside a
+	// raw atomic call is a mixed plain/atomic access.
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok || inAtomicCall[id] {
+				return true
+			}
+			obj := p.Pkg.Info.Uses[id]
+			if obj == nil {
+				return true
+			}
+			if first, ok := atomicWords[obj]; ok {
+				pos := p.Mod.Fset.Position(first)
+				p.Reportf(id.Pos(), "plain access to %s, which is accessed atomically at %s:%d; mixed plain/atomic access tears", id.Name, relPath(p.Mod, pos.Filename), pos.Line)
+			}
+			return true
+		})
+	}
+}
+
+// addressedWord resolves the variable or field a raw atomic call's
+// address argument (&x, &x.f, &xs[i]) targets — the word whose other
+// accesses must also be atomic. Only that object is tracked: the
+// receiver or struct an &x.f peels through is accessed plainly all
+// over, legitimately.
+func addressedWord(p *Pass, e ast.Expr) types.Object {
+	e = ast.Unparen(e)
+	if u, ok := e.(*ast.UnaryExpr); ok && u.Op == token.AND {
+		e = ast.Unparen(u.X)
+	}
+	for {
+		switch v := e.(type) {
+		case *ast.SelectorExpr:
+			if obj, ok := p.Pkg.Info.Uses[v.Sel].(*types.Var); ok {
+				return obj
+			}
+			return nil
+		case *ast.IndexExpr:
+			e = ast.Unparen(v.X)
+		case *ast.Ident:
+			if obj, ok := p.Pkg.Info.Uses[v].(*types.Var); ok {
+				return obj
+			}
+			return nil
+		default:
+			return nil
+		}
+	}
+}
+
+// relPath makes file module-root-relative, matching Diagnostic.File.
+func relPath(m *Module, file string) string {
+	if rel, ok := strings.CutPrefix(file, m.Root+"/"); ok {
+		return rel
+	}
+	return file
+}

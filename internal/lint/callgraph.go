@@ -1,0 +1,109 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// callGraph is the per-package static call graph the concurrency
+// analyzers share: who calls whom (through plain calls, go statements,
+// and defers, with function literals folded into their enclosing
+// declaration), plus the set of functions annotated as sanctioned
+// snapshot writers.
+//
+// The graph is deliberately package-local. The invariants it backs —
+// "only the declared writer publishes a snapshot", "a goroutine body
+// owns a shutdown tie" — are single-package disciplines: the
+// atomic.Pointer, its element type, and the writer goroutine all live
+// together, so a cross-package graph would add cost without adding
+// findings.
+type callGraph struct {
+	decls   map[*types.Func]*ast.FuncDecl
+	callees map[*types.Func][]*types.Func
+	writers []*types.Func // functions annotated //lint:writer, in file order
+}
+
+// WriterAnnotation is the comment that declares a function a
+// sanctioned snapshot writer: construction and publication of
+// atomic.Pointer-published state is legal only in functions reachable
+// from one (see the snapshotimmut analyzer).
+const WriterAnnotation = "//lint:writer"
+
+// buildCallGraph resolves every static call inside the package's
+// declared functions. Calls through function values, interfaces, and
+// other packages fall off the graph — reachability through them must
+// be established by annotating the callee side instead.
+func buildCallGraph(p *Pass) *callGraph {
+	g := &callGraph{
+		decls:   map[*types.Func]*ast.FuncDecl{},
+		callees: map[*types.Func][]*types.Func{},
+	}
+	for _, f := range p.Pkg.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			fn, ok := p.Pkg.Info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			g.decls[fn] = fd
+			if hasAnnotation(fd, WriterAnnotation) {
+				g.writers = append(g.writers, fn)
+			}
+			if fd.Body == nil {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				callee := calleeFunc(p.Pkg, call)
+				if callee != nil && callee.Pkg() == p.Pkg.Types {
+					g.callees[fn] = append(g.callees[fn], callee)
+				}
+				return true
+			})
+		}
+	}
+	return g
+}
+
+// hasAnnotation reports whether the declaration's doc comment carries
+// the given //lint: directive as its own line (trailing prose after
+// the directive word is permitted and encouraged).
+func hasAnnotation(fd *ast.FuncDecl, directive string) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		if c.Text == directive || strings.HasPrefix(c.Text, directive+" ") {
+			return true
+		}
+	}
+	return false
+}
+
+// reachableFromWriters returns every function reachable from a
+// //lint:writer annotation, including the annotated functions
+// themselves.
+func (g *callGraph) reachableFromWriters() map[*types.Func]bool {
+	reached := map[*types.Func]bool{}
+	var visit func(fn *types.Func)
+	visit = func(fn *types.Func) {
+		if reached[fn] {
+			return
+		}
+		reached[fn] = true
+		for _, callee := range g.callees[fn] {
+			visit(callee)
+		}
+	}
+	for _, w := range g.writers {
+		visit(w)
+	}
+	return reached
+}

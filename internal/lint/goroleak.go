@@ -1,0 +1,111 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// GoroLeak requires every goroutine spawned by library code to be
+// tied to a shutdown path. A Server that leaks goroutines past Drain
+// keeps mutating metrics, holding sockets, and racing the next
+// topology load — the serving plane's crash-restart contract assumes
+// a drained server has nothing left running. The tie is structural:
+// the goroutine's body must contain a channel operation (a receive,
+// send, select, range, or close — which covers context.Done selects,
+// work-queue ranges, result sends, and drain semaphores) or a
+// sync.WaitGroup Done, so some owner can observe or force its exit.
+// Package main is exempt: the process owns those lifetimes.
+//
+// The check looks through `go name(...)` to a same-package named
+// function's body; goroutines whose body is out of reach (a function
+// value or another package's function) are findings too, because the
+// tie cannot be verified.
+var GoroLeak = &Analyzer{
+	Name: "goroleak",
+	Doc: "library goroutines must be tied to a shutdown path: a channel operation " +
+		"or WaitGroup.Done in the body; untied goroutines outlive their server",
+	Run: runGoroLeak,
+}
+
+func runGoroLeak(p *Pass) {
+	if p.Pkg.Name == "main" {
+		return
+	}
+	graph := buildCallGraph(p)
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			body, how := goroutineBody(p, graph, g.Call)
+			if body == nil {
+				p.Reportf(g.Pos(), "goroutine body is %s, so no shutdown tie can be verified; spawn a function literal or same-package function that owns its exit", how)
+				return true
+			}
+			if !hasShutdownTie(p, body) {
+				p.Reportf(g.Pos(), "goroutine is not tied to a shutdown path: no channel operation or WaitGroup.Done in %s; it can outlive its owner", how)
+			}
+			return true
+		})
+	}
+}
+
+// goroutineBody resolves the statement body a go statement runs: a
+// function literal's own body, or the body of a same-package declared
+// function. The second return names what was (or was not) resolved
+// for the diagnostic.
+func goroutineBody(p *Pass, graph *callGraph, call *ast.CallExpr) (*ast.BlockStmt, string) {
+	if lit, ok := ast.Unparen(call.Fun).(*ast.FuncLit); ok {
+		return lit.Body, "the function literal"
+	}
+	fn := calleeFunc(p.Pkg, call)
+	if fn == nil {
+		return nil, "a function value"
+	}
+	if fd, ok := graph.decls[fn]; ok && fd.Body != nil {
+		return fd.Body, fn.Name()
+	}
+	return nil, "declared outside this package"
+}
+
+// hasShutdownTie reports whether the body contains a construct an
+// owner can use to observe or force the goroutine's exit.
+func hasShutdownTie(p *Pass, body *ast.BlockStmt) bool {
+	tied := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if tied {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.SelectStmt:
+			tied = true
+		case *ast.SendStmt:
+			tied = true
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				tied = true
+			}
+		case *ast.RangeStmt:
+			if t := p.Pkg.Info.TypeOf(n.X); t != nil {
+				if _, ok := t.Underlying().(*types.Chan); ok {
+					tied = true
+				}
+			}
+		case *ast.CallExpr:
+			if isBuiltin(p.Pkg, n, "close") {
+				tied = true
+			}
+			if fn := calleeFunc(p.Pkg, n); fn != nil && fn.Name() == "Done" {
+				if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+					if types.TypeString(sig.Recv().Type(), nil) == "*sync.WaitGroup" {
+						tied = true
+					}
+				}
+			}
+		}
+		return !tied
+	})
+	return tied
+}

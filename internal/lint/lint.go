@@ -49,11 +49,15 @@ type Analyzer struct {
 
 // Analyzers is the full suite, in reporting order.
 var Analyzers = []*Analyzer{
+	AtomicMix,
 	CTCompare,
 	Determinism,
 	ErrCheck,
 	FloatCmp,
+	GoroLeak,
+	NoAlloc,
 	PanicPolicy,
+	SnapshotImmut,
 	WireOrder,
 }
 
@@ -168,6 +172,15 @@ func RunAnalyzers(mod *Module, pkgs []*Package, analyzers []*Analyzer) []Diagnos
 						continue diags // suppressed with a stated reason
 					}
 				}
+			}
+			// Test files are loaded (for the dirs in TestScanDirs) so
+			// the determinism analyzer can cover the oracle and
+			// differential tests; the production-discipline analyzers
+			// (alloc, goroutine, snapshot rules) do not apply to test
+			// scaffolding, so their findings there are dropped after
+			// suppression counting.
+			if strings.HasSuffix(d.File, "_test.go") && d.Analyzer != Determinism.Name {
+				continue diags
 			}
 			out = append(out, d)
 		}

@@ -18,7 +18,15 @@ var repoModule = sync.OnceValues(func() (*Module, error) {
 	if err != nil {
 		return nil, err
 	}
-	return LoadModule(root)
+	m, err := LoadModule(root)
+	if err != nil {
+		return nil, err
+	}
+	// Mirror the CLI: the oracle and differential planes are linted
+	// with their in-package tests, so TestModuleIsClean enforces the
+	// same surface verify.sh does.
+	m.IncludeTests(TestScanDirs...)
+	return m, nil
 })
 
 func mustModule(t *testing.T) *Module {
@@ -115,12 +123,16 @@ func TestGolden(t *testing.T) {
 		fixture   string
 		analyzers []*Analyzer
 	}{
+		{"atomicmix", []*Analyzer{AtomicMix}},
 		{"ctcompare", []*Analyzer{CTCompare}},
 		{"determinism", []*Analyzer{Determinism}},
 		{"errcheck", []*Analyzer{ErrCheck}},
 		{"floatcmp", []*Analyzer{FloatCmp}},
+		{"goroleak", []*Analyzer{GoroLeak}},
+		{"noalloc", []*Analyzer{NoAlloc}},
 		{"panicpolicy", []*Analyzer{PanicPolicy}},
 		{"panicmain", []*Analyzer{PanicPolicy}},
+		{"snapshotimmut", []*Analyzer{SnapshotImmut}},
 		{"wireorder", []*Analyzer{WireOrder}},
 		// The allow fixture tests the hygiene pseudo-analyzer, which
 		// runs unconditionally; determinism supplies the suppressible

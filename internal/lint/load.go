@@ -3,6 +3,7 @@ package lint
 import (
 	"fmt"
 	"go/ast"
+	"go/build/constraint"
 	"go/importer"
 	"go/parser"
 	"go/token"
@@ -10,6 +11,7 @@ import (
 	"io/fs"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strings"
 )
@@ -26,9 +28,29 @@ type Module struct {
 	GoVersion string // language version from the go.mod "go" line
 	Fset      *token.FileSet
 
-	std     types.Importer
-	pkgs    map[string]*Package // keyed by root-relative dir ("." for root)
-	loading map[string]bool     // import-cycle detection
+	std      types.Importer
+	pkgs     map[string]*Package // keyed by root-relative dir ("." for root)
+	loading  map[string]bool     // import-cycle detection
+	testDirs map[string]bool     // dirs whose in-package _test.go files load too
+	escapes  map[string][]escapeDiag
+}
+
+// TestScanDirs lists the packages whose in-package _test.go files are
+// loaded alongside the package proper, so the determinism analyzer
+// covers them: these are the oracle and differential planes, where a
+// wall-clock read or global RNG draw in a test can mask — or fake —
+// exactly the replica divergence the tests exist to catch.
+var TestScanDirs = []string{"internal/dist", "internal/oracle", "internal/serve"}
+
+// IncludeTests marks root-relative package dirs whose in-package test
+// files should be parsed and type-checked with the package.
+func (m *Module) IncludeTests(dirs ...string) {
+	if m.testDirs == nil {
+		m.testDirs = map[string]bool{}
+	}
+	for _, d := range dirs {
+		m.testDirs[filepath.ToSlash(filepath.Clean(d))] = true
+	}
 }
 
 // Package is one parsed and type-checked package.
@@ -199,6 +221,59 @@ func goFiles(dir string) []string {
 	return out
 }
 
+// testGoFiles lists the _test.go files in dir whose build constraints
+// hold under the default build configuration, sorted. Constraint
+// evaluation matters here: the serve package pairs race_on_test.go
+// (//go:build race) with race_off_test.go (//go:build !race), and
+// loading both would redeclare their shared helpers.
+func testGoFiles(dir string) []string {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil
+	}
+	var out []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, "_test.go") || strings.HasPrefix(name, ".") {
+			continue
+		}
+		path := filepath.Join(dir, name)
+		if buildConstraintOK(path) {
+			out = append(out, path)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// buildConstraintOK evaluates the file's //go:build line (if any)
+// under the default configuration: GOOS, GOARCH, and the gc compiler
+// are the only true tags, so "race", "integration", and friends are
+// false.
+func buildConstraintOK(path string) bool {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return false
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if strings.HasPrefix(line, "package ") {
+			break
+		}
+		if !constraint.IsGoBuild(line) {
+			continue
+		}
+		expr, err := constraint.Parse(line)
+		if err != nil {
+			return false
+		}
+		return expr.Eval(func(tag string) bool {
+			return tag == runtime.GOOS || tag == runtime.GOARCH || tag == "gc"
+		})
+	}
+	return true
+}
+
 // load parses and type-checks the package in root-relative dir rel,
 // memoized per directory.
 func (m *Module) load(rel string) (*Package, error) {
@@ -222,6 +297,21 @@ func (m *Module) load(rel string) (*Package, error) {
 			return nil, fmt.Errorf("lint: %w", err)
 		}
 		asts = append(asts, af)
+	}
+	if m.testDirs[rel] {
+		pkgName := asts[0].Name.Name
+		for _, f := range testGoFiles(filepath.Join(m.Root, rel)) {
+			af, err := parser.ParseFile(m.Fset, f, nil, parser.ParseComments)
+			if err != nil {
+				return nil, fmt.Errorf("lint: %w", err)
+			}
+			// External test packages (package foo_test) type-check
+			// separately; only in-package tests join the unit.
+			if af.Name.Name != pkgName {
+				continue
+			}
+			asts = append(asts, af)
+		}
 	}
 	importPath := m.Path
 	if rel != "." {

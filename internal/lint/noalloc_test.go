@@ -1,0 +1,134 @@
+package lint
+
+import (
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// TestParseEscapeDiagnostics feeds the parser a verbatim-shaped
+// -gcflags=-m=2 transcript: inlining chatter, "does not escape"
+// confirmations, indented flow explanations, and the header/plain
+// duplicate the compiler emits for one escape must all be handled.
+func TestParseEscapeDiagnostics(t *testing.T) {
+	out := strings.Join([]string{
+		"# truthroute/internal/core",
+		"internal/core/solver.go:61:28: inlining call to graph.(*NodeGraph).N",
+		"internal/core/solver.go:85:21: make([]int, n) escapes to heap:",
+		"internal/core/solver.go:85:21:   flow: ~r0 = &{storage for make([]int, n)}:",
+		"internal/core/solver.go:85:21:     from make([]int, n) (spill) at internal/core/solver.go:85:21",
+		"internal/core/solver.go:85:21: make([]int, n) escapes to heap",
+		"internal/core/solver.go:90:6: moved to heap: began",
+		"internal/core/solver.go:92:15: w does not escape",
+		"internal/core/solver.go:99:2: leaking param: q",
+		"",
+	}, "\n")
+	got := parseEscapeDiagnostics(out)
+	want := []escapeDiag{
+		{file: "internal/core/solver.go", line: 85, col: 21, msg: "make([]int, n) escapes to heap"},
+		{file: "internal/core/solver.go", line: 90, col: 6, msg: "moved to heap: began"},
+	}
+	if len(got) != len(want) {
+		t.Fatalf("parsed %d diagnostics, want %d: %+v", len(got), len(want), got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("diag[%d] = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestEscapePos pins the file:line:col mapping, including the guard
+// for compiler lines that fall outside the parsed file (possible when
+// generated code or cached diagnostics drift from the source on disk).
+func TestEscapePos(t *testing.T) {
+	fset := token.NewFileSet()
+	src := "package p\n\nvar X = 1\n"
+	f, err := parser.ParseFile(fset, "x.go", src, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tf := fset.File(f.Pos())
+
+	in := escapePos(tf, escapeDiag{line: 3, col: 5})
+	if pos := fset.Position(in); pos.Line != 3 || pos.Column != 5 {
+		t.Errorf("in-range escape mapped to %v, want 3:5", pos)
+	}
+	for _, line := range []int{0, 99} {
+		out := escapePos(tf, escapeDiag{line: line, col: 1})
+		if out != tf.Pos(0) {
+			t.Errorf("line %d out of range should map to file start, got %v", line, fset.Position(out))
+		}
+	}
+}
+
+// TestRelPath covers both sides: module-relative trimming and the
+// passthrough for files outside the module root.
+func TestRelPath(t *testing.T) {
+	m := &Module{Root: "/repo"}
+	if got := relPath(m, "/repo/internal/a.go"); got != "internal/a.go" {
+		t.Errorf("relPath inside root = %q, want internal/a.go", got)
+	}
+	if got := relPath(m, "/elsewhere/b.go"); got != "/elsewhere/b.go" {
+		t.Errorf("relPath outside root = %q, want passthrough", got)
+	}
+}
+
+// TestNoAllocGateOnRepo is the acceptance check in miniature: every
+// //lint:noalloc-annotated function in the hot packages must survive
+// the compiler's escape analysis with zero heap escapes.
+func TestNoAllocGateOnRepo(t *testing.T) {
+	m := mustModule(t)
+	pkgs, err := m.Load("internal/core", "internal/sp", "internal/serve", "internal/obs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	annotated := 0
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					if c.Text == NoAllocAnnotation || strings.HasPrefix(c.Text, NoAllocAnnotation+" ") {
+						annotated++
+					}
+				}
+			}
+		}
+	}
+	if annotated == 0 {
+		t.Fatal("no //lint:noalloc annotations found in the hot packages; the gate is guarding nothing")
+	}
+	for _, d := range RunAnalyzers(m, pkgs, []*Analyzer{NoAlloc}) {
+		t.Errorf("noalloc gate: %s", d)
+	}
+}
+
+// TestNoAllocBuildFailure covers the loud-failure path: when go build
+// cannot compile the package the gate reports the build error instead
+// of silently passing. The trick: the lint loader ignores build
+// constraints on non-test files, so a symbol declared in a
+// windows-only file type-checks under the loader but is undefined for
+// the real toolchain.
+func TestNoAllocBuildFailure(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"go.mod": "module scratch\n\ngo 1.21\n",
+		"p/a.go": "package p\n\n//lint:noalloc gate must fail loudly, not pass silently\nfunc f() int { return g() }\n",
+		"p/b.go": "//go:build windows\n\npackage p\n\nfunc g() int { return 1 }\n",
+	})
+	m, err := LoadModule(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := m.Load("p")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := RunAnalyzers(m, pkgs, []*Analyzer{NoAlloc})
+	if len(diags) != 1 {
+		t.Fatalf("got %d diagnostics, want 1 build-failure report: %+v", len(diags), diags)
+	}
+	if !strings.Contains(diags[0].Message, "noalloc: go build") {
+		t.Errorf("diagnostic %q does not report the build failure", diags[0].Message)
+	}
+}

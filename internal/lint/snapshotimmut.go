@@ -1,0 +1,394 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// SnapshotImmut enforces the RCU discipline the serving plane's
+// correctness rests on (DESIGN.md §12–13): state published through an
+// atomic.Pointer is an immutable epoch snapshot. Once a snapshot is
+// observable via Load, mutating it races every lock-free reader — and
+// because Algorithm 2's cheater detection accuses any replica whose
+// bytes differ, a mutated-after-publish snapshot makes an honest
+// server indistinguishable from a cheater. Three rules follow:
+//
+//  1. No assignment to fields, map entries, or slice elements
+//     reachable from a value obtained via .Load(). Published state is
+//     frozen; a writer that wants to change it copies and republishes.
+//  2. Publishing a non-nil value (Store, Swap, CompareAndSwap) is
+//     only legal in functions reachable from a //lint:writer
+//     annotation — the package's declared single-writer entry points.
+//     Store(nil) is invalidation, legal anywhere: nil cannot be
+//     mutated.
+//  3. Constructing or mutating a snapshot type (a package-local type
+//     that appears as an atomic.Pointer element) is likewise only
+//     legal in writer-reachable code, so no unpublished alias can
+//     survive into the read path.
+//
+// A //lint:writer annotation from which no publish, construction, or
+// snapshot mutation is reachable is itself a finding, keeping the
+// annotations as live as the lint:allow escape hatches.
+var SnapshotImmut = &Analyzer{
+	Name: "snapshotimmut",
+	Doc: "state behind an atomic.Pointer is frozen after Store: no writes through " +
+		"Load()ed values, and publish/construction only in //lint:writer-reachable code",
+	Run: runSnapshotImmut,
+}
+
+// atomicPointerElem returns the element type T when t is
+// sync/atomic.Pointer[T].
+func atomicPointerElem(t types.Type) (types.Type, bool) {
+	n, ok := types.Unalias(t).(*types.Named)
+	if !ok {
+		return nil, false
+	}
+	obj := n.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync/atomic" || obj.Name() != "Pointer" {
+		return nil, false
+	}
+	args := n.TypeArgs()
+	if args.Len() != 1 {
+		return nil, false
+	}
+	return args.At(0), true
+}
+
+// namedTypeName resolves t (through pointers and aliases) to its
+// declared type name, or nil for unnamed types.
+func namedTypeName(t types.Type) *types.TypeName {
+	t = types.Unalias(t)
+	if p, ok := t.(*types.Pointer); ok {
+		t = types.Unalias(p.Elem())
+	}
+	if n, ok := t.(*types.Named); ok {
+		return n.Obj()
+	}
+	return nil
+}
+
+// snapshotTypeNames collects the package-local types published
+// through an atomic.Pointer anywhere in the package: struct fields
+// and package-level variables of type atomic.Pointer[T] contribute T.
+func snapshotTypeNames(p *Pass) map[*types.TypeName]bool {
+	out := map[*types.TypeName]bool{}
+	add := func(t types.Type) {
+		elem, ok := atomicPointerElem(t)
+		if !ok {
+			return
+		}
+		if tn := namedTypeName(elem); tn != nil && tn.Pkg() == p.Pkg.Types {
+			out[tn] = true
+		}
+	}
+	scope := p.Pkg.Types.Scope()
+	for _, name := range scope.Names() {
+		switch obj := scope.Lookup(name).(type) {
+		case *types.TypeName:
+			if st, ok := obj.Type().Underlying().(*types.Struct); ok {
+				for i := 0; i < st.NumFields(); i++ {
+					add(st.Field(i).Type())
+				}
+			}
+		case *types.Var:
+			add(obj.Type())
+		}
+	}
+	return out
+}
+
+// isPointerLoad reports whether call is a .Load() on an
+// atomic.Pointer value.
+func isPointerLoad(p *Pass, call *ast.CallExpr) bool {
+	return atomicPointerMethod(p, call) == "Load"
+}
+
+// atomicPointerMethod returns the method name when call invokes a
+// method on an atomic.Pointer receiver, or "".
+func atomicPointerMethod(p *Pass, call *ast.CallExpr) string {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	recv := p.Pkg.Info.TypeOf(sel.X)
+	if recv == nil {
+		return ""
+	}
+	if _, ok := atomicPointerElem(deref(recv)); !ok {
+		return ""
+	}
+	return sel.Sel.Name
+}
+
+// publishedValue returns the expression a Store/Swap/CompareAndSwap
+// call publishes, or nil when the call is not a publication.
+func publishedValue(method string, call *ast.CallExpr) ast.Expr {
+	switch method {
+	case "Store", "Swap":
+		if len(call.Args) == 1 {
+			return call.Args[0]
+		}
+	case "CompareAndSwap":
+		if len(call.Args) == 2 {
+			return call.Args[1]
+		}
+	}
+	return nil
+}
+
+func isNilExpr(e ast.Expr) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	return ok && id.Name == "nil"
+}
+
+func runSnapshotImmut(p *Pass) {
+	snapTypes := snapshotTypeNames(p)
+	graph := buildCallGraph(p)
+	writerOK := graph.reachableFromWriters()
+
+	// publishers collects every function that publishes, constructs,
+	// or (legally or not) mutates snapshot state, for the stale-writer
+	// hygiene check at the end.
+	publishers := map[*types.Func]bool{}
+
+	for _, f := range p.Pkg.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, _ := p.Pkg.Info.Defs[fd.Name].(*types.Func)
+			checkSnapshotFunc(p, fd, fn, snapTypes, writerOK, publishers)
+		}
+	}
+
+	for _, w := range graph.writers {
+		reach := map[*types.Func]bool{}
+		var visit func(fn *types.Func)
+		visit = func(fn *types.Func) {
+			if reach[fn] {
+				return
+			}
+			reach[fn] = true
+			for _, c := range graph.callees[fn] {
+				visit(c)
+			}
+		}
+		visit(w)
+		live := false
+		for fn := range reach {
+			if publishers[fn] {
+				live = true
+				break
+			}
+		}
+		if !live {
+			p.Reportf(graph.decls[w].Pos(), "lint:writer on %s, but no snapshot publish, construction, or mutation is reachable from it; drop the stale annotation", w.Name())
+		}
+	}
+}
+
+// checkSnapshotFunc runs the three snapshot rules over one declared
+// function (function literals inside it are folded in).
+func checkSnapshotFunc(p *Pass, fd *ast.FuncDecl, fn *types.Func, snapTypes map[*types.TypeName]bool, writerOK map[*types.Func]bool, publishers map[*types.Func]bool) {
+	frozen := frozenObjects(p, fd)
+	inWriter := fn != nil && writerOK[fn]
+	mark := func() {
+		if fn != nil {
+			publishers[fn] = true
+		}
+	}
+
+	// checkWrite applies rules 1 and 3 to one written location.
+	checkWrite := func(site ast.Node, target ast.Expr, what string) {
+		root, sawChain := writeRoot(target)
+		if root == nil || !sawChain {
+			return // rebinding a variable is not a mutation
+		}
+		if call, ok := root.(*ast.CallExpr); ok {
+			if isPointerLoad(p, call) {
+				p.Reportf(site.Pos(), "%s through atomic.Pointer Load(): snapshots are frozen after publish; copy and republish from the writer instead", what)
+			}
+			return
+		}
+		id, ok := root.(*ast.Ident)
+		if !ok {
+			return
+		}
+		obj := p.Pkg.Info.Uses[id]
+		if obj == nil {
+			obj = p.Pkg.Info.Defs[id]
+		}
+		if obj == nil {
+			return
+		}
+		if frozen[obj] {
+			p.Reportf(site.Pos(), "%s on %s, which aliases a snapshot obtained via atomic.Pointer Load(); snapshots are frozen after publish", what, id.Name)
+			return
+		}
+		if tn := namedTypeName(obj.Type()); tn != nil && snapTypes[tn] {
+			mark()
+			if !inWriter {
+				p.Reportf(site.Pos(), "%s mutates snapshot type %s outside //lint:writer-reachable code; only the declared writer may build or change snapshots", what, tn.Name())
+			}
+		}
+	}
+
+	ast.Inspect(fd, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				checkWrite(n, lhs, "assignment")
+			}
+		case *ast.IncDecStmt:
+			checkWrite(n, n.X, n.Tok.String())
+		case *ast.CallExpr:
+			if isBuiltin(p.Pkg, n, "delete") && len(n.Args) > 0 {
+				// delete mutates the map operand itself, so a bare
+				// frozen identifier counts, not just a chain.
+				checkMapDelete(p, n, frozen, snapTypes, inWriter, mark)
+				return true
+			}
+			method := atomicPointerMethod(p, n)
+			if v := publishedValue(method, n); v != nil && !isNilExpr(v) {
+				mark()
+				if !inWriter {
+					p.Reportf(n.Pos(), "atomic.Pointer %s publishes a snapshot outside //lint:writer-reachable code; annotate the writer entry point or route the publish through it", method)
+				}
+			}
+		case *ast.CompositeLit:
+			if tn := compositeTypeName(p, n); tn != nil && snapTypes[tn] {
+				mark()
+				if !inWriter {
+					p.Reportf(n.Pos(), "snapshot type %s constructed outside //lint:writer-reachable code; only the declared writer may build snapshots", tn.Name())
+				}
+			}
+		}
+		return true
+	})
+}
+
+// checkMapDelete applies the write rules to delete(m, k)'s map
+// operand.
+func checkMapDelete(p *Pass, call *ast.CallExpr, frozen map[types.Object]bool, snapTypes map[*types.TypeName]bool, inWriter bool, mark func()) {
+	root, _ := writeRoot(call.Args[0])
+	id, ok := root.(*ast.Ident)
+	if !ok {
+		return
+	}
+	obj := p.Pkg.Info.Uses[id]
+	if obj == nil {
+		return
+	}
+	if frozen[obj] {
+		p.Reportf(call.Pos(), "delete on %s, which aliases a snapshot obtained via atomic.Pointer Load(); snapshots are frozen after publish", id.Name)
+		return
+	}
+	if tn := namedTypeName(obj.Type()); tn != nil && snapTypes[tn] {
+		mark()
+		if !inWriter {
+			p.Reportf(call.Pos(), "delete mutates snapshot type %s outside //lint:writer-reachable code", tn.Name())
+		}
+	}
+}
+
+// compositeTypeName resolves the declared type a composite literal
+// builds, or nil.
+func compositeTypeName(p *Pass, lit *ast.CompositeLit) *types.TypeName {
+	t := p.Pkg.Info.TypeOf(lit)
+	if t == nil {
+		return nil
+	}
+	return namedTypeName(t)
+}
+
+// writeRoot peels selectors, indexing, dereferences, and slicing off
+// a written expression down to its root (an identifier or a call),
+// reporting whether at least one link was peeled: `x.f = v` mutates
+// x's state, plain `x = v` only rebinds x.
+func writeRoot(e ast.Expr) (root ast.Expr, sawChain bool) {
+	for {
+		switch v := ast.Unparen(e).(type) {
+		case *ast.SelectorExpr:
+			e, sawChain = v.X, true
+		case *ast.IndexExpr:
+			e, sawChain = v.X, true
+		case *ast.SliceExpr:
+			e, sawChain = v.X, true
+		case *ast.StarExpr:
+			e, sawChain = v.X, true
+		case *ast.UnaryExpr:
+			if v.Op != token.AND {
+				return nil, sawChain
+			}
+			e = v.X
+		default:
+			return v, sawChain
+		}
+	}
+}
+
+// frozenObjects computes the variables in fd that alias published
+// snapshot state: anything assigned from a .Load() on an
+// atomic.Pointer, or derived from such a variable through selectors,
+// indexing, slicing, dereference, or address-of — including range
+// statements over frozen collections. The analysis is per-function
+// and flow-insensitive: one frozen assignment freezes the variable
+// for the whole body, which errs toward reporting.
+func frozenObjects(p *Pass, fd *ast.FuncDecl) map[types.Object]bool {
+	frozen := map[types.Object]bool{}
+	isFrozenExpr := func(e ast.Expr) bool {
+		root, _ := writeRoot(e)
+		switch root := root.(type) {
+		case *ast.CallExpr:
+			return isPointerLoad(p, root)
+		case *ast.Ident:
+			obj := p.Pkg.Info.Uses[root]
+			return obj != nil && frozen[obj]
+		}
+		return false
+	}
+	defObj := func(e ast.Expr) types.Object {
+		id, ok := ast.Unparen(e).(*ast.Ident)
+		if !ok {
+			return nil
+		}
+		if obj := p.Pkg.Info.Defs[id]; obj != nil {
+			return obj
+		}
+		return p.Pkg.Info.Uses[id]
+	}
+	for changed := true; changed; {
+		changed = false
+		freeze := func(e ast.Expr) {
+			if obj := defObj(e); obj != nil && !frozen[obj] {
+				frozen[obj] = true
+				changed = true
+			}
+		}
+		ast.Inspect(fd, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				if len(n.Lhs) == len(n.Rhs) {
+					for i, rhs := range n.Rhs {
+						if isFrozenExpr(rhs) {
+							freeze(n.Lhs[i])
+						}
+					}
+				}
+			case *ast.RangeStmt:
+				if isFrozenExpr(n.X) {
+					if n.Key != nil {
+						freeze(n.Key)
+					}
+					if n.Value != nil {
+						freeze(n.Value)
+					}
+				}
+			}
+			return true
+		})
+	}
+	return frozen
+}

@@ -1,0 +1,79 @@
+// Package atomicmix exercises the single-access-discipline rules: a
+// word touched through sync/atomic must be touched atomically
+// everywhere, and typed atomics beat raw-word atomic.* calls.
+package atomicmix
+
+import "sync/atomic"
+
+type stats struct {
+	hits  uint64
+	level int64
+	mode  uint32
+}
+
+func (s *stats) record() {
+	atomic.AddUint64(&s.hits, 1) // want `atomic.AddUint64 operates on a raw word; use atomic.Uint64`
+}
+
+func (s *stats) read() uint64 {
+	return s.hits // want `plain access to hits, which is accessed atomically at`
+}
+
+func (s *stats) setLevel(v int64) {
+	atomic.StoreInt64(&s.level, v) // want `atomic.StoreInt64 operates on a raw word; use atomic.Int64`
+}
+
+func (s *stats) level2() int64 {
+	return atomic.LoadInt64(&s.level) // want `atomic.LoadInt64 operates on a raw word; use atomic.Int64`
+}
+
+func (s *stats) bumpLevel() {
+	s.level++ // want `plain access to level, which is accessed atomically at`
+}
+
+func (s *stats) swapMode(m uint32) uint32 {
+	return atomic.SwapUint32(&s.mode, m) // want `atomic.SwapUint32 operates on a raw word; use atomic.Uint32`
+}
+
+var cursor uintptr
+
+func advance() {
+	atomic.AddUintptr(&cursor, 1) // want `atomic.AddUintptr operates on a raw word; use atomic.Uintptr`
+}
+
+func cursorNow() uintptr {
+	return cursor // want `plain access to cursor, which is accessed atomically at`
+}
+
+var slots [4]uint64
+
+func bumpSlot(i int) {
+	atomic.AddUint64(&slots[i], 1) // want `atomic.AddUint64 operates on a raw word; use atomic.Uint64`
+}
+
+func firstSlot() uint64 {
+	return slots[0] // want `plain access to slots, which is accessed atomically at`
+}
+
+// scratch exercises the unresolvable-address case: the target of the
+// raw call is a fresh allocation, so no word is tracked (the raw call
+// itself is still rejected).
+func scratch() {
+	atomic.AddUint64(new(uint64), 1) // want `atomic.AddUint64 operates on a raw word; use atomic.Uint64`
+}
+
+// typed is the sanctioned shape: the raw word is never addressable,
+// so no plain access can exist.
+type typed struct {
+	hits atomic.Uint64
+}
+
+func (t *typed) record()      { t.hits.Add(1) }
+func (t *typed) read() uint64 { return t.hits.Load() }
+
+// plainOnly is never accessed atomically, so plain access is fine.
+type plainOnly struct {
+	n int
+}
+
+func (p *plainOnly) bump() { p.n++ }

@@ -1,0 +1,83 @@
+// Package goroleak exercises the shutdown-tie rules: every goroutine
+// spawned by library code must contain a channel operation or a
+// WaitGroup.Done some owner can use to observe or force its exit.
+package goroleak
+
+import (
+	"runtime"
+	"sync"
+)
+
+type pool struct {
+	work chan int
+	done chan struct{}
+	wg   sync.WaitGroup
+}
+
+// goodDrainer ranges over a channel: closing work stops it.
+func (p *pool) goodDrainer() {
+	go func() {
+		for range p.work {
+		}
+	}()
+}
+
+// goodSelect blocks on done: closing done stops it.
+func (p *pool) goodSelect() {
+	go func() {
+		select {
+		case <-p.done:
+		case v := <-p.work:
+			_ = v
+		}
+	}()
+}
+
+// goodSender hands its result to a channel the owner drains.
+func (p *pool) goodSender() {
+	go func() {
+		p.work <- 1
+	}()
+}
+
+// goodWorker resolves through the call graph to worker, whose
+// deferred wg.Done is the tie.
+func (p *pool) goodWorker() {
+	p.wg.Add(1)
+	go p.worker()
+}
+
+func (p *pool) worker() {
+	defer p.wg.Done()
+}
+
+// goodCloser signals its own completion by closing done.
+func (p *pool) goodCloser() {
+	go func() {
+		close(p.done)
+	}()
+}
+
+func spin() {
+	for {
+	}
+}
+
+func (p *pool) badUntiedLiteral() {
+	go func() { // want `goroutine is not tied to a shutdown path`
+		for {
+		}
+	}()
+}
+
+func (p *pool) badUntiedNamed() {
+	go spin() // want `no channel operation or WaitGroup.Done in spin`
+}
+
+func (p *pool) badOpaque(f func()) {
+	go f() // want `goroutine body is a function value`
+}
+
+func (p *pool) badForeign() {
+	go runtime.GC() // want `goroutine body is declared outside this package`
+}

@@ -1,0 +1,36 @@
+// Package noalloc exercises the compiler-backed zero-alloc gate. The
+// bad functions are knowingly escaping: the golden test proves the
+// gate reads real escape-analysis output, not a heuristic.
+package noalloc
+
+// sum is genuinely allocation-free: pure arithmetic over the caller's
+// slice.
+//
+//lint:noalloc the clean case the gate must accept
+func sum(xs []int) int {
+	t := 0
+	for _, x := range xs {
+		t += x
+	}
+	return t
+}
+
+// grow allocates: the make escapes through the return value.
+//
+//lint:noalloc knowingly wrong; the fixture proves the gate fires
+func grow(n int) []int {
+	return make([]int, n) // want `heap escape in //lint:noalloc function grow`
+}
+
+// box allocates: the integer is boxed into the returned interface.
+//
+//lint:noalloc knowingly wrong; interface boxing is a heap escape
+func box(x int) any {
+	return x // want `heap escape in //lint:noalloc function box`
+}
+
+// unannotated allocates freely — the gate only binds annotated
+// functions.
+func unannotated(n int) []int {
+	return make([]int, n)
+}

@@ -1,0 +1,119 @@
+// Package snapshotimmut exercises the RCU snapshot-immutability
+// rules: state behind an atomic.Pointer is frozen after Store, and
+// publish/construction belong to //lint:writer-reachable code.
+package snapshotimmut
+
+import "sync/atomic"
+
+type config struct {
+	limits map[string]int
+	peers  []string
+	n      int
+}
+
+type server struct {
+	conf atomic.Pointer[config]
+}
+
+// reload is the sanctioned writer: construction, mutation (via fill),
+// and publication are all legal from here.
+//
+//lint:writer the reload path is the package's single config publisher
+func (s *server) reload(peers []string) {
+	c := &config{limits: map[string]int{}, peers: peers}
+	fill(c)
+	delete(c.limits, "stale") // legal: still writer-reachable, still unpublished
+	s.conf.Store(c)
+}
+
+// fill is reachable from reload, so its mutations are sanctioned.
+func fill(c *config) {
+	c.n = len(c.peers)
+	c.limits["default"] = 10
+}
+
+// invalidate is legal anywhere: Store(nil) publishes nothing mutable.
+func (s *server) invalidate() {
+	s.conf.Store(nil)
+}
+
+func (s *server) badStore(c *config) {
+	s.conf.Store(c) // want `atomic.Pointer Store publishes a snapshot outside`
+}
+
+func (s *server) badSwap(c *config) {
+	s.conf.Swap(c) // want `atomic.Pointer Swap publishes a snapshot outside`
+}
+
+func (s *server) badCAS(old, c *config) {
+	s.conf.CompareAndSwap(old, c) // want `atomic.Pointer CompareAndSwap publishes a snapshot outside`
+}
+
+func (s *server) badConstruct() *config {
+	return &config{n: 1} // want `snapshot type config constructed outside`
+}
+
+func (s *server) badMutateOwn(c *config) {
+	c.n = 4 // want `assignment mutates snapshot type config outside`
+}
+
+func (s *server) badLoadWrite() {
+	s.conf.Load().n = 1 // want `assignment through atomic.Pointer Load\(\)`
+}
+
+func (s *server) badAliasWrite() {
+	c := s.conf.Load()
+	c.n = 2 // want `assignment on c, which aliases a snapshot`
+}
+
+func (s *server) badMapWrite() {
+	c := s.conf.Load()
+	c.limits["burst"] = 3 // want `assignment on c, which aliases a snapshot`
+}
+
+func (s *server) badIncr() {
+	c := s.conf.Load()
+	c.n++ // want `\+\+ on c, which aliases a snapshot`
+}
+
+func (s *server) badDelete() {
+	c := s.conf.Load()
+	delete(c.limits, "default") // want `delete on c, which aliases a snapshot`
+}
+
+func (s *server) badDeleteOwn(c *config) {
+	delete(c.limits, "burst") // want `delete mutates snapshot type config outside`
+}
+
+func freshLimits() map[string]int { return map[string]int{} }
+
+// goodDeleteFresh deletes from a map that is not snapshot state.
+func goodDeleteFresh() {
+	delete(freshLimits(), "unused")
+}
+
+func (s *server) badDerived() {
+	c := s.conf.Load()
+	ps := c.peers
+	ps[0] = "x" // want `assignment on ps, which aliases a snapshot`
+}
+
+// goodRead is the read path the rules protect: loading and reading a
+// snapshot is always fine.
+func (s *server) goodRead() int {
+	c := s.conf.Load()
+	total := c.n
+	for _, lim := range c.limits {
+		total += lim
+	}
+	return total
+}
+
+// stale carries the writer annotation but publishes nothing — the
+// hygiene rule keeps annotations live.
+//
+//lint:writer nothing is actually published from here
+func (s *server) stale() int { // want `lint:writer on stale, but no snapshot publish`
+	c := s.conf.Load()
+	return c.n
+}

@@ -1,0 +1,99 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+)
+
+// fixtureFileNames lists the base names of a package's parsed files.
+func fixtureFileNames(m *Module, pkg *Package) []string {
+	var names []string
+	for _, f := range pkg.Files {
+		full := m.Fset.Position(f.Pos()).Filename
+		names = append(names, full[strings.LastIndexByte(full, '/')+1:])
+	}
+	return names
+}
+
+// TestIncludeTestsLoadsTestFiles checks the oracle and serve packages
+// load their in-package _test.go files (repoModule calls IncludeTests
+// for TestScanDirs), and that build constraints are honoured: serve's
+// race_on_test.go (//go:build race) must be excluded while its
+// race_off_test.go (//go:build !race) is included — loading both
+// would redeclare their shared helpers.
+func TestIncludeTestsLoadsTestFiles(t *testing.T) {
+	m := mustModule(t)
+	for _, dir := range TestScanDirs {
+		pkgs, err := m.Load(dir)
+		if err != nil {
+			t.Fatalf("loading %s: %v", dir, err)
+		}
+		names := fixtureFileNames(m, pkgs[0])
+		testFiles := 0
+		for _, n := range names {
+			if strings.HasSuffix(n, "_test.go") {
+				testFiles++
+			}
+		}
+		if testFiles == 0 {
+			t.Errorf("%s: no _test.go files loaded; the determinism analyzer is not covering its tests", dir)
+		}
+		if dir == "internal/serve" {
+			has := func(want string) bool {
+				for _, n := range names {
+					if n == want {
+						return true
+					}
+				}
+				return false
+			}
+			if has("race_on_test.go") {
+				t.Error("internal/serve: race_on_test.go loaded despite //go:build race")
+			}
+			if !has("race_off_test.go") {
+				t.Error("internal/serve: race_off_test.go missing despite //go:build !race")
+			}
+		}
+	}
+}
+
+// TestTestFileDiagnosticsFiltered checks the central filter: only the
+// determinism analyzer (and allow hygiene) applies to test files —
+// production-discipline findings in test scaffolding are dropped.
+func TestTestFileDiagnosticsFiltered(t *testing.T) {
+	m := mustModule(t)
+	pkgs, err := m.Load(TestScanDirs...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range RunAnalyzers(m, pkgs, Analyzers) {
+		if strings.HasSuffix(d.File, "_test.go") && d.Analyzer != Determinism.Name && d.Analyzer != AllowName {
+			t.Errorf("analyzer %s leaked a test-file finding: %s", d.Analyzer, d)
+		}
+	}
+}
+
+func TestBuildConstraintOK(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"none.go":    "package p\n",
+		"off.go":     "//go:build !race\n\npackage p\n",
+		"on.go":      "//go:build race\n\npackage p\n",
+		"plat.go":    "//go:build windows && arm\n\npackage p\n",
+		"invalid.go": "//go:build &&\n\npackage p\n",
+	})
+	cases := map[string]bool{
+		"none.go":    true,
+		"off.go":     true,
+		"on.go":      false,
+		"plat.go":    false,
+		"invalid.go": false,
+	}
+	for name, want := range cases {
+		if got := buildConstraintOK(dir + "/" + name); got != want {
+			t.Errorf("buildConstraintOK(%s) = %v, want %v", name, got, want)
+		}
+	}
+	if buildConstraintOK(dir + "/missing.go") {
+		t.Error("buildConstraintOK accepted a missing file")
+	}
+}

@@ -22,6 +22,7 @@ func Main(args []string, stdout, stderr io.Writer) int {
 		fs.PrintDefaults()
 	}
 	asJSON := fs.Bool("json", false, "emit diagnostics as a JSON array")
+	asSARIF := fs.Bool("sarif", false, "emit diagnostics as a SARIF 2.1.0 log (GitHub code scanning)")
 	enabled := map[string]*bool{}
 	for _, a := range Analyzers {
 		enabled[a.Name] = fs.Bool(a.Name, true, "enable the "+a.Name+" analyzer ("+a.Doc+")")
@@ -48,6 +49,7 @@ func Main(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "truthlint:", err)
 		return 2
 	}
+	mod.IncludeTests(TestScanDirs...)
 	pkgs, err := mod.Load(patterns...)
 	if err != nil {
 		fmt.Fprintln(stderr, "truthlint:", err)
@@ -60,7 +62,13 @@ func Main(args []string, stdout, stderr io.Writer) int {
 		}
 	}
 	diags := RunAnalyzers(mod, pkgs, run)
-	if *asJSON {
+	switch {
+	case *asSARIF:
+		if err := WriteSARIF(stdout, diags); err != nil {
+			fmt.Fprintln(stderr, "truthlint:", err)
+			return 2
+		}
+	case *asJSON:
 		if diags == nil {
 			diags = []Diagnostic{}
 		}
@@ -70,7 +78,7 @@ func Main(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintln(stderr, "truthlint:", err)
 			return 2
 		}
-	} else {
+	default:
 		for _, d := range diags {
 			fmt.Fprintln(stdout, d)
 		}

@@ -108,3 +108,115 @@ func TestMainBadPattern(t *testing.T) {
 		t.Errorf("stderr missing load error: %q", errb)
 	}
 }
+
+// TestMainSARIF checks -sarif on a known-bad fixture: a valid SARIF
+// 2.1.0 log with one truthlint run, every analyzer declared as a
+// rule, one error-level result per finding with a relative URI — and
+// byte-identical output across runs, same as -json.
+func TestMainSARIF(t *testing.T) {
+	code1, out1, errb := runMain("-sarif", "./internal/lint/testdata/floatcmp")
+	if code1 != 1 {
+		t.Fatalf("exit = %d, want 1 (known-bad fixture); stderr: %s", code1, errb)
+	}
+	code2, out2, _ := runMain("-sarif", "./internal/lint/testdata/floatcmp")
+	if code2 != 1 {
+		t.Fatalf("second run exit = %d, want 1", code2)
+	}
+	if out1 != out2 {
+		t.Errorf("-sarif output differs between identical runs:\n%s\n---\n%s", out1, out2)
+	}
+
+	var log struct {
+		Version string `json:"version"`
+		Schema  string `json:"$schema"`
+		Runs    []struct {
+			Tool struct {
+				Driver struct {
+					Name  string `json:"name"`
+					Rules []struct {
+						ID string `json:"id"`
+					} `json:"rules"`
+				} `json:"driver"`
+			} `json:"tool"`
+			Results []struct {
+				RuleID    string `json:"ruleId"`
+				Level     string `json:"level"`
+				Message   struct{ Text string }
+				Locations []struct {
+					PhysicalLocation struct {
+						ArtifactLocation struct {
+							URI string `json:"uri"`
+						} `json:"artifactLocation"`
+						Region struct {
+							StartLine int `json:"startLine"`
+						} `json:"region"`
+					} `json:"physicalLocation"`
+				} `json:"locations"`
+			} `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal([]byte(out1), &log); err != nil {
+		t.Fatalf("-sarif output is not valid JSON: %v", err)
+	}
+	if log.Version != "2.1.0" || !strings.Contains(log.Schema, "sarif-schema-2.1.0") {
+		t.Errorf("version %q / schema %q, want SARIF 2.1.0", log.Version, log.Schema)
+	}
+	if len(log.Runs) != 1 {
+		t.Fatalf("got %d runs, want 1", len(log.Runs))
+	}
+	run := log.Runs[0]
+	if run.Tool.Driver.Name != "truthlint" {
+		t.Errorf("driver name = %q, want truthlint", run.Tool.Driver.Name)
+	}
+	ruleIDs := map[string]bool{}
+	for _, r := range run.Tool.Driver.Rules {
+		ruleIDs[r.ID] = true
+	}
+	for _, a := range Analyzers {
+		if !ruleIDs[a.Name] {
+			t.Errorf("analyzer %s not declared as a SARIF rule", a.Name)
+		}
+	}
+	if !ruleIDs[AllowName] {
+		t.Errorf("allow pseudo-analyzer not declared as a SARIF rule")
+	}
+	if len(run.Results) == 0 {
+		t.Fatal("no results for the known-bad fixture")
+	}
+	for _, r := range run.Results {
+		if r.RuleID != "floatcmp" || r.Level != "error" || r.Message.Text == "" {
+			t.Errorf("incomplete result: %+v", r)
+		}
+		if len(r.Locations) != 1 {
+			t.Fatalf("result has %d locations, want 1", len(r.Locations))
+		}
+		loc := r.Locations[0].PhysicalLocation
+		if !strings.HasPrefix(loc.ArtifactLocation.URI, "internal/lint/testdata/floatcmp/") {
+			t.Errorf("result URI %q is not module-root-relative", loc.ArtifactLocation.URI)
+		}
+		if loc.Region.StartLine == 0 {
+			t.Errorf("result missing a start line: %+v", r)
+		}
+	}
+}
+
+// TestMainSARIFClean checks a clean run still emits a full SARIF log
+// (rules declared, zero results) with exit 0, so code scanning can
+// distinguish "checked, clean" from "never ran".
+func TestMainSARIFClean(t *testing.T) {
+	code, out, errb := runMain("-sarif", "-floatcmp=false", "./internal/lint/testdata/floatcmp")
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0; stderr: %s", code, errb)
+	}
+	var log struct {
+		Runs []struct {
+			Results []any `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal([]byte(out), &log); err != nil {
+		t.Fatalf("clean -sarif output is not valid JSON: %v", err)
+	}
+	if len(log.Runs) != 1 || len(log.Runs[0].Results) != 0 {
+		t.Errorf("clean run: got %+v, want one run with zero results", log.Runs)
+	}
+}

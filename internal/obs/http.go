@@ -69,6 +69,7 @@ func Serve(addr string) (*Server, error) {
 		URL: "http://" + ln.Addr().String(),
 		srv: &http.Server{Handler: mux},
 	}
+	//lint:allow goroleak the accept loop's lifetime is owned by net/http: Close closes the listener and Serve returns
 	go func() {
 		// Serve returns http.ErrServerClosed after Close — the normal
 		// shutdown path, not a reportable failure.

@@ -18,9 +18,13 @@ type Counter struct {
 func (c *Counter) Name() string { return c.name }
 
 // Inc adds one.
+//
+//lint:noalloc instrumentation on the serving hot path must be free when the layer is off
 func (c *Counter) Inc() { c.Add(1) }
 
 // Add adds delta.
+//
+//lint:noalloc instrumentation on the serving hot path must be free when the layer is off
 func (c *Counter) Add(delta uint64) {
 	if !enabled.Load() {
 		return
@@ -42,6 +46,8 @@ type Gauge struct {
 func (g *Gauge) Name() string { return g.name }
 
 // Set stores v.
+//
+//lint:noalloc instrumentation on the serving hot path must be free when the layer is off
 func (g *Gauge) Set(v int64) {
 	if !enabled.Load() {
 		return
@@ -52,6 +58,8 @@ func (g *Gauge) Set(v int64) {
 // Add adds delta and returns the new level (0 while disabled), so
 // occupancy call sites can feed the result straight into a peak
 // tracker without a second load.
+//
+//lint:noalloc instrumentation on the serving hot path must be free when the layer is off
 func (g *Gauge) Add(delta int64) int64 {
 	if !enabled.Load() {
 		return 0
@@ -61,6 +69,8 @@ func (g *Gauge) Add(delta int64) int64 {
 
 // SetMax raises the gauge to v if v exceeds the current level — a
 // monotone high-water mark under concurrent updates.
+//
+//lint:noalloc instrumentation on the serving hot path must be free when the layer is off
 func (g *Gauge) SetMax(v int64) {
 	if !enabled.Load() {
 		return
@@ -112,6 +122,8 @@ func newHistogram(name string, bounds []float64) *Histogram {
 func (h *Histogram) Name() string { return h.name }
 
 // Observe records one value.
+//
+//lint:noalloc instrumentation on the serving hot path must be free when the layer is off
 func (h *Histogram) Observe(v float64) {
 	if !enabled.Load() {
 		return

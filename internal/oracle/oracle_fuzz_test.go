@@ -3,6 +3,7 @@ package oracle
 import (
 	"fmt"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 	"testing"
@@ -38,8 +39,14 @@ func corpusTopologies(t testing.TB) map[string][]byte {
 		"zero-cost":    {graph.Ring(5), 2}, // all costs 0: every path ties
 		"single-path":  {line, 4},
 	}
+	names := make([]string, 0, len(shapes))
+	for name := range shapes {
+		names = append(names, name)
+	}
+	sort.Strings(names)
 	out := map[string][]byte{}
-	for name, s := range shapes {
+	for _, name := range names {
+		s := shapes[name]
 		data, err := EncodeTopology(s.g, s.src)
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)

@@ -66,6 +66,8 @@ func newSnapshot(epoch uint64, g *graph.NodeGraph) *snapshot {
 
 // newShard carves component comp out of g, warms the shard's solver
 // pool, publishes epoch 1, and starts the single writer.
+//
+//lint:writer newShard publishes epoch 1 before any reader can hold the shard
 func newShard(id int, g *graph.NodeGraph, comp []int, warm int) *shard {
 	sub := g.InducedSubgraph(comp)
 	sub.CSR() // built once here; every epoch's cost view shares it
@@ -89,6 +91,8 @@ func newShard(id int, g *graph.NodeGraph, comp []int, warm int) *shard {
 // in the batch. The graph view shares adjacency and CSR with its
 // predecessor — an epoch flip re-prices, it never re-extracts
 // topology.
+//
+//lint:writer the single writer goroutine is the only epoch publisher after startup
 func (sh *shard) writer() {
 	defer close(sh.done)
 	for req := range sh.batches {
@@ -126,6 +130,8 @@ func (sh *shard) stop() {
 // local source ls, building it on first use. Concurrent builders race
 // benignly: both compute the same deterministic tree and the losing
 // CompareAndSwap discards its copy, mirroring graph.CSR's build race.
+//
+//lint:writer racing builders compute the same deterministic tree; the CAS loser discards its copy unpublished
 func (sh *shard) tree(snap *snapshot, ls int) *sp.Tree {
 	sc := &snap.src[ls]
 	if t := sc.tree.Load(); t != nil {
@@ -141,7 +147,11 @@ func (sh *shard) tree(snap *snapshot, ls int) *sp.Tree {
 
 // quote serves the marshalled global-id quote for (ls, lt) on snap,
 // memoizing per (engine, source, target) for the snapshot's lifetime.
-// Repeated requests within an epoch are served the identical bytes.
+// Repeated requests within an epoch are served the identical bytes:
+// the hit path is a sync.Map probe and performs no heap allocation
+// (the int64 key boxes on the stack because Load does not retain it).
+//
+//lint:noalloc the epoch-cached read path: a warm hit must serve bytes without touching the heap
 func (sh *shard) quote(snap *snapshot, ls, lt int, engine core.Engine) ([]byte, error) {
 	sc := &snap.src[ls]
 	key := int64(engine)<<32 | int64(lt)
@@ -149,6 +159,17 @@ func (sh *shard) quote(snap *snapshot, ls, lt int, engine core.Engine) ([]byte, 
 		obsCacheHits.Inc()
 		return v.([]byte), nil
 	}
+	return sh.quoteMiss(snap, sc, ls, lt, engine, key)
+}
+
+// quoteMiss fills the per-snapshot cache on the first request for a
+// key. Outlined from quote with //go:noinline: LoadOrStore retains its
+// boxed key and the marshalled body is a fresh allocation by design —
+// once per (engine, source, target) per epoch — and folding either
+// back into quote would put heap traffic on the annotated hit path.
+//
+//go:noinline
+func (sh *shard) quoteMiss(snap *snapshot, sc *sourceCache, ls, lt int, engine core.Engine, key int64) ([]byte, error) {
 	obsCacheMisses.Inc()
 	body, err := sh.computeQuote(snap, ls, lt, engine)
 	if err != nil {

@@ -36,6 +36,8 @@ func (m *Marks) Resize(n int) {
 }
 
 // Clear unmarks every id in O(1).
+//
+//lint:noalloc clearing is the per-query reset; an allocation here would undo the generation trick
 func (m *Marks) Clear() {
 	m.cur++
 	if m.cur == 0 { // generation counter wrapped: hard reset
@@ -100,6 +102,8 @@ func (w *Workspace) Resize(n int) {
 
 // begin rolls back the previous run's writes and primes the tree for
 // a new source.
+//
+//lint:noalloc rollback runs before every query; it must stay O(touched) with no heap traffic
 func (w *Workspace) begin(src int) *Tree {
 	obsRollback.Observe(float64(len(w.touched)))
 	t := &w.tree
@@ -121,6 +125,8 @@ func (w *Workspace) touch(v int) { w.touched = append(w.touched, v) }
 // same settle order, zero allocations in the steady state. It walks
 // the graph's CSR layout (identical neighbour order to the [][]int
 // adjacency, so outputs are bit-identical to the allocating API).
+//
+//lint:noalloc the steady-state query loop; growth allocations belong to Resize, not here
 func (w *Workspace) NodeDijkstra(g *graph.NodeGraph, src int, banned []bool) *Tree {
 	w.Resize(g.N())
 	t := w.begin(src)
@@ -166,6 +172,8 @@ func (w *Workspace) NodeDijkstra(g *graph.NodeGraph, src int, banned []bool) *Tr
 // LinkDijkstra is LinkDijkstra into this workspace. Reverse trees walk
 // the graph's cached In adjacency, so repeated destination-rooted runs
 // on one topology allocate nothing either.
+//
+//lint:noalloc the steady-state query loop; growth allocations belong to Resize, not here
 func (w *Workspace) LinkDijkstra(g *graph.LinkGraph, src int, banned []bool, reverse bool) *Tree {
 	w.Resize(g.N())
 	t := w.begin(src)
