@@ -6,6 +6,7 @@ import (
 	"os"
 	"path/filepath"
 	"reflect"
+	"strconv"
 	"strings"
 	"testing"
 )
@@ -36,6 +37,92 @@ func TestParseBenchOutput(t *testing.T) {
 	}
 	if !reflect.DeepEqual(report.Benchmarks, want) {
 		t.Errorf("parsed benchmarks:\n%+v\nwant:\n%+v", report.Benchmarks, want)
+	}
+}
+
+// TestParseBenchOutputCollapsesRuns: `-count=3` transcripts fold to
+// one entry per benchmark with the fastest run's metrics and the run
+// count recorded.
+func TestParseBenchOutputCollapsesRuns(t *testing.T) {
+	const transcript = `goos: linux
+BenchmarkDijkstraBucket-4   	    5000	    210000 ns/op	       0 B/op	       0 allocs/op
+BenchmarkDijkstraBucket-4   	    5200	    201000 ns/op	       0 B/op	       0 allocs/op
+BenchmarkDijkstraBucket-4   	    5100	    205000 ns/op	       0 B/op	       0 allocs/op
+BenchmarkPaymentFast256-4   	   46557	     54688 ns/op	    1560 B/op	       6 allocs/op
+PASS
+`
+	report, err := ParseBenchOutput(strings.NewReader(transcript))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Benchmarks) != 2 {
+		t.Fatalf("want 2 collapsed benchmarks, got %+v", report.Benchmarks)
+	}
+	b := report.Benchmarks[0]
+	if b.Name != "BenchmarkDijkstraBucket" || b.NsPerOp != 201000 || b.Iterations != 5200 || b.Runs != 3 {
+		t.Errorf("collapsed entry wrong: %+v", b)
+	}
+	if report.Benchmarks[1].Runs != 0 {
+		t.Errorf("single-run entry gained a Runs count: %+v", report.Benchmarks[1])
+	}
+}
+
+// TestBenchReportRegressionGate drives the -baseline ns/op gate: a
+// gated benchmark beyond the bound exits 3, one within it exits 0,
+// and ungated/new benchmarks never trip it.
+func TestBenchReportRegressionGate(t *testing.T) {
+	dir := t.TempDir()
+	baseline := filepath.Join(dir, "baseline.json")
+	base := BenchReport{Benchmarks: []BenchResult{
+		{Name: "BenchmarkPaymentFast256", NsPerOp: 50000},
+		{Name: "BenchmarkDistributedProtocol", NsPerOp: 100},
+	}}
+	blob, _ := json.Marshal(base)
+	if err := os.WriteFile(baseline, blob, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	write := func(name string, ns int) string {
+		p := filepath.Join(dir, "bench.txt")
+		line := name + "-4 100 " + strconv.Itoa(ns) + " ns/op\n"
+		if err := os.WriteFile(p, []byte(line), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	run := func(in string) (int, string) {
+		var stdout, stderr bytes.Buffer
+		code := RunBenchReport([]string{"-input", in,
+			"-out", filepath.Join(dir, "r.json"), "-baseline", baseline}, &stdout, &stderr)
+		return code, stdout.String() + stderr.String()
+	}
+
+	if code, log := run(write("BenchmarkPaymentFast256", 60000)); code != 3 {
+		t.Errorf("+20%% on a gated benchmark: exit %d, want 3 (%s)", code, log)
+	}
+	if code, log := run(write("BenchmarkPaymentFast256", 55000)); code != 0 {
+		t.Errorf("+10%% within the 15%% bound: exit %d (%s)", code, log)
+	} else if !strings.Contains(log, "gate ok") {
+		t.Errorf("clean gate not reported: %s", log)
+	}
+	// 100x regression on an UNGATED benchmark: fan-out noise, not a failure.
+	if code, log := run(write("BenchmarkDistributedProtocol", 10000)); code != 0 {
+		t.Errorf("ungated benchmark tripped the gate: exit %d (%s)", code, log)
+	}
+	// A benchmark with no baseline row is a new row, not a regression.
+	if code, log := run(write("BenchmarkPaymentFastNew", 999999)); code != 0 {
+		t.Errorf("baseline-less benchmark tripped the gate: exit %d (%s)", code, log)
+	}
+
+	var stdout, stderr bytes.Buffer
+	if code := RunBenchReport([]string{"-input", write("BenchmarkPaymentFast256", 1),
+		"-out", "-", "-baseline", filepath.Join(dir, "missing.json")}, &stdout, &stderr); code != 1 {
+		t.Errorf("missing baseline: exit %d, want 1", code)
+	}
+	stdout.Reset()
+	stderr.Reset()
+	if code := RunBenchReport([]string{"-input", write("BenchmarkPaymentFast256", 1),
+		"-out", "-", "-baseline", baseline, "-gate", "("}, &stdout, &stderr); code != 1 {
+		t.Errorf("bad -gate regexp: exit %d, want 1", code)
 	}
 }
 

@@ -1,0 +1,122 @@
+package core
+
+import (
+	"math/rand/v2"
+	"reflect"
+	"testing"
+
+	"truthroute/internal/graph"
+	"truthroute/internal/sp"
+)
+
+func deltaTestGraph(n int, seed uint64, quantized bool) *graph.NodeGraph {
+	rng := rand.New(rand.NewPCG(seed, 3))
+	g := graph.RandomBiconnected(n, 3.0/float64(n), rng)
+	for v := 0; v < n; v++ {
+		if quantized {
+			g.SetCost(v, 0.5+float64(rng.IntN(12))/4)
+		} else {
+			g.SetCost(v, 0.05+rng.Float64()*3)
+		}
+	}
+	return g
+}
+
+// TestAllQuotesDeltaMatchesFanOut forces the shared-frontier path on
+// small graphs and demands quote-for-quote deep equality with the
+// per-source fan-out path, for both engines and both cost regimes.
+func TestAllQuotesDeltaMatchesFanOut(t *testing.T) {
+	for _, engine := range []Engine{EngineFast, EngineNaive} {
+		for _, quantized := range []bool{false, true} {
+			for seed := uint64(1); seed <= 3; seed++ {
+				g := deltaTestGraph(60, seed, quantized)
+				dest := int(seed) % g.N()
+				deltaSv := NewSolver(WithAllSourcesDelta(2, 4))
+				fanSv := NewSolver()
+				got, err := deltaSv.AllQuotes(g, dest, engine)
+				if err != nil {
+					t.Fatalf("delta AllQuotes: %v", err)
+				}
+				want, err := fanSv.AllQuotes(g, dest, engine)
+				if err != nil {
+					t.Fatalf("fan-out AllQuotes: %v", err)
+				}
+				for s := range want {
+					if !reflect.DeepEqual(got[s], want[s]) {
+						t.Fatalf("engine=%v quantized=%v seed=%d s=%d:\n delta  %v\n fanout %v",
+							engine, quantized, seed, s, got[s], want[s])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestAllQuotesDeltaFallsBackOnZeroCosts puts zero relay costs on a
+// graph above the (forced) threshold: the delta path must decline and
+// the fan-out path must serve identical results anyway.
+func TestAllQuotesDeltaFallsBackOnZeroCosts(t *testing.T) {
+	rng := rand.New(rand.NewPCG(7, 7))
+	g := graph.RandomBiconnected(50, 0.1, rng)
+	for v := 0; v < g.N(); v++ {
+		g.SetCost(v, float64(rng.IntN(5))) // zeros present
+	}
+	deltaSv := NewSolver(WithAllSourcesDelta(2, 4))
+	got, err := deltaSv.AllQuotes(g, 0, EngineNaive)
+	if err != nil {
+		t.Fatalf("AllQuotes: %v", err)
+	}
+	want, err := NewSolver().AllQuotes(g, 0, EngineNaive)
+	if err != nil {
+		t.Fatalf("AllQuotes: %v", err)
+	}
+	for s := range want {
+		if !reflect.DeepEqual(got[s], want[s]) {
+			t.Fatalf("s=%d: fallback quote differs", s)
+		}
+	}
+}
+
+// TestAllQuotesFrontierForcedBinary pins that WithFrontier(binary) and
+// the default auto policy produce identical quotes on quantized costs
+// — the solver-level face of the bucket-queue equivalence.
+func TestAllQuotesFrontierForcedBinary(t *testing.T) {
+	g := deltaTestGraph(48, 9, true)
+	auto, err := NewSolver().AllQuotes(g, 1, EngineFast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bin, err := NewSolver(WithFrontier(sp.FrontierBinary)).AllQuotes(g, 1, EngineFast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(auto, bin) {
+		t.Fatal("bucket-frontier quotes differ from forced-binary quotes")
+	}
+}
+
+// TestUnreachableSourcesNilUnderDelta pins the nil-slot contract on a
+// disconnected graph routed through the delta path.
+func TestUnreachableSourcesNilUnderDelta(t *testing.T) {
+	g := graph.NewNodeGraph(7)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(3, 4)
+	g.AddEdge(4, 5) // 6 isolated; 3-4-5 disconnected from dest 0
+	for v := 0; v < 7; v++ {
+		g.SetCost(v, 1+float64(v)/2)
+	}
+	sv := NewSolver(WithAllSourcesDelta(2, 3))
+	out, err := sv.AllQuotes(g, 0, EngineFast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range []int{3, 4, 5, 6} {
+		if out[s] != nil {
+			t.Fatalf("unreachable source %d got a quote: %v", s, out[s])
+		}
+	}
+	if out[1] == nil || out[2] == nil {
+		t.Fatal("reachable sources missing quotes")
+	}
+}

@@ -48,13 +48,25 @@ func (w *solverSpace) fastReplacement(g *graph.NodeGraph, s, t int, treeS *sp.Tr
 	if len(path) <= 2 {
 		return
 	}
+	treeT := w.wsT.NodeDijkstra(g, t, nil)
+	w.fastReplacementFrom(g, s, t, treeS, treeT.Dist, path)
+}
+
+// fastReplacementFrom is fastReplacement with the destination-rooted
+// distance table R (R[v] = dist(v, t)) supplied by the caller. The
+// single-quote path computes it fresh above; the all-sources delta
+// path computes it once per destination and shares it across every
+// source — the "dijkstra once, test many roots" amortization.
+func (w *solverSpace) fastReplacementFrom(g *graph.NodeGraph, s, t int, treeS *sp.Tree, R []float64, path []int) {
+	if len(path) <= 2 {
+		return
+	}
 	sigma := len(path) - 1 // t = r_sigma
 	n := g.N()
 	csr := g.CSR()
 
-	treeT := w.wsT.NodeDijkstra(g, t, nil)
 	L := treeS.Dist // L(v): interior cost s→v, endpoints excluded
-	R := treeT.Dist // R(v): interior cost v→t, endpoints excluded
+	// R(v): interior cost v→t, endpoints excluded (parameter)
 
 	// pos[v] = index on the path, or -1. Stale entries from earlier
 	// queries are harmless: pos is only read for nodes in treeS.Order,

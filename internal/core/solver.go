@@ -26,11 +26,57 @@ import (
 // O((n+m) log n) heap loop should dominate, not the allocator.
 type Solver struct {
 	pool sync.Pool
+
+	// frontier is the Workspace frontier policy applied to every
+	// pooled workspace (FrontierAuto unless overridden — the oracle
+	// forces FrontierBinary to differentially pin the bucket queue).
+	frontier sp.Frontier
+
+	// All-sources delta-stepping configuration: graphs with at least
+	// deltaThreshold nodes route AllQuotes through one shared-frontier
+	// parallel SSSP engine instead of per-source goroutine fan-out.
+	deltaThreshold int
+	deltaWorkers   int
+	dsMu           sync.Mutex
+	ds             *sp.DeltaStepper
+}
+
+// DefaultDeltaThreshold is the node count at which AllQuotes switches
+// from per-source fan-out to the shared-frontier delta-stepping path.
+// Below it, per-source parallelism keeps every core busy with cheap
+// independent runs; above it, the per-run memory footprint makes the
+// cache-cooperative shared frontier win.
+const DefaultDeltaThreshold = 100_000
+
+// SolverOption configures a Solver at construction.
+type SolverOption func(*Solver)
+
+// WithFrontier fixes the priority-queue policy of the solver's
+// Dijkstra workspaces (see sp.Frontier).
+func WithFrontier(f sp.Frontier) SolverOption {
+	return func(sv *Solver) { sv.frontier = f }
+}
+
+// WithAllSourcesDelta overrides when (threshold, in nodes; 0 keeps
+// DefaultDeltaThreshold) and how wide (workers; 0 means GOMAXPROCS)
+// the delta-stepping all-sources path engages. Tests and benchmarks
+// use a low threshold to exercise the path on small graphs.
+func WithAllSourcesDelta(threshold, workers int) SolverOption {
+	return func(sv *Solver) {
+		sv.deltaThreshold = threshold
+		sv.deltaWorkers = workers
+	}
 }
 
 // NewSolver returns an empty solver; workspaces are created on demand
 // and recycled across calls.
-func NewSolver() *Solver { return &Solver{} }
+func NewSolver(opts ...SolverOption) *Solver {
+	sv := &Solver{}
+	for _, o := range opts {
+		o(sv)
+	}
+	return sv
+}
 
 // defaultSolver backs UnicastQuote and AllUnicastQuotesParallel so
 // every caller shares one warm workspace pool.
@@ -45,6 +91,8 @@ func (sv *Solver) acquire(n int) *solverSpace {
 		obsPoolHits.Inc()
 	}
 	w.resize(n)
+	w.wsS.SetFrontier(sv.frontier)
+	w.wsT.SetFrontier(sv.frontier)
 	return w
 }
 
@@ -163,6 +211,17 @@ func (sv *Solver) AllQuotes(g *graph.NodeGraph, dest int, engine Engine) ([]*Quo
 	if n < 2 || dest < 0 || dest >= n {
 		return out, nil
 	}
+	thr := sv.deltaThreshold
+	if thr == 0 {
+		thr = DefaultDeltaThreshold
+	}
+	if n >= thr {
+		if dq, ok := sv.allQuotesDelta(g, dest, engine); ok {
+			return dq, nil
+		}
+		// !ok: the cost regime rules delta-stepping out (zero or
+		// non-finite relay costs) — fall through to the fan-out path.
+	}
 	g.CSR() // build the shared topology view once, before the fan-out
 	each := func(s int) {
 		obsFanPeak.SetMax(obsFanActive.Add(1))
@@ -232,6 +291,10 @@ type solverSpace struct {
 
 	// repl[k] = ||P_-vk(s,t,d)|| for the current query's relays.
 	repl []float64
+	// rShared holds the destination-rooted distance table the
+	// all-sources delta path shares across its sources (grown lazily;
+	// only that path uses it).
+	rShared []float64
 	// banned is all-false between uses (the naive engine sets and
 	// clears one entry per relay).
 	banned  []bool

@@ -242,6 +242,11 @@ func TestAllQuotesParallelValidation(t *testing.T) {
 // quote after startup is a pool hit — the property the serving
 // daemon relies on so request one doesn't pay workspace construction.
 func TestSolverWarm(t *testing.T) {
+	if raceEnabled {
+		// sync.Pool deliberately drops a random fraction of Puts in
+		// race builds, so exact hit/miss counts only hold without it.
+		t.Skip("pool hit/miss counts are nondeterministic under the race detector")
+	}
 	g := graph.Grid(8, 8)
 	g.RandomizeCosts(0.5, 5, rand.New(rand.NewPCG(7, 1)))
 	g.CSR()

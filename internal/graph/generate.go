@@ -79,6 +79,30 @@ func RandomBiconnected(n int, p float64, rng *rand.Rand) *NodeGraph {
 	return g
 }
 
+// RandomSparse returns a connected graph with roughly deg·n/2 edges
+// in O(n·deg) expected time: a Hamiltonian ring (guaranteeing
+// connectivity and biconnectivity) plus (deg−2)·n/2 uniformly random
+// chords, duplicates and self-loops skipped. ErdosRenyi and
+// RandomBiconnected enumerate all Θ(n²) node pairs, which is
+// prohibitive at the 10^5–10^6 node scale the SSSP scaling
+// benchmarks run; this generator only ever touches the edges it
+// creates. Requires deg ≥ 2 (the ring) and n ≥ 3.
+func RandomSparse(n int, deg float64, rng *rand.Rand) *NodeGraph {
+	if deg < 2 {
+		panic(fmt.Sprintf("graph: RandomSparse needs deg >= 2, got %g", deg))
+	}
+	g := Ring(n)
+	extra := int(float64(n) * (deg - 2) / 2)
+	for e := 0; e < extra; e++ {
+		u, v := rng.IntN(n), rng.IntN(n)
+		if u == v || g.HasEdge(u, v) {
+			continue // skipped draws only lower the density slightly
+		}
+		g.AddEdge(u, v)
+	}
+	return g
+}
+
 // RandomizeCosts assigns every node an independent uniform cost in
 // [lo, hi). The paper's simulations draw "the cost of each node ...
 // independently and uniformly from a range" (§III.G).

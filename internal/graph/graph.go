@@ -29,14 +29,19 @@ type NodeGraph struct {
 	// shared with cost views, which share the topology, and dropped on
 	// every edge mutation.
 	csr *csrBox
+	// quant caches the fixed-point cost regime (see quantum.go). It
+	// belongs to the cost vector, not the topology: cost views get
+	// fresh boxes, and any SetCost drops it.
+	quant *quantBox
 }
 
 // NewNodeGraph returns a graph with n isolated nodes of zero cost.
 func NewNodeGraph(n int) *NodeGraph {
 	return &NodeGraph{
-		cost: make([]float64, n),
-		adj:  make([][]int, n),
-		csr:  &csrBox{},
+		cost:  make([]float64, n),
+		adj:   make([][]int, n),
+		csr:   &csrBox{},
+		quant: &quantBox{},
 	}
 }
 
@@ -62,6 +67,7 @@ func (g *NodeGraph) SetCost(v int, c float64) {
 		panic(fmt.Sprintf("graph: invalid node cost %v for node %d", c, v))
 	}
 	g.cost[v] = c
+	g.quant.invalidate()
 }
 
 // Costs returns a copy of the full cost vector (the declared profile d).
@@ -136,7 +142,7 @@ func (g *NodeGraph) Clone() *NodeGraph {
 // evaluates counterfactual profiles d|^i b without mutating shared
 // state.
 func (g *NodeGraph) WithCosts(c []float64) *NodeGraph {
-	out := &NodeGraph{cost: make([]float64, g.N()), adj: g.adj, csr: g.csr}
+	out := &NodeGraph{cost: make([]float64, g.N()), adj: g.adj, csr: g.csr, quant: &quantBox{}}
 	copy(out.cost, c)
 	return out
 }
@@ -145,7 +151,7 @@ func (g *NodeGraph) WithCosts(c []float64) *NodeGraph {
 // and every other node keeps its current declaration (the paper's
 // d|^v c notation). The adjacency structure is shared.
 func (g *NodeGraph) WithCost(v int, c float64) *NodeGraph {
-	out := &NodeGraph{cost: append([]float64(nil), g.cost...), adj: g.adj, csr: g.csr}
+	out := &NodeGraph{cost: append([]float64(nil), g.cost...), adj: g.adj, csr: g.csr, quant: &quantBox{}}
 	out.SetCost(v, c)
 	return out
 }

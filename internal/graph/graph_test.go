@@ -262,6 +262,27 @@ func TestGenerators(t *testing.T) {
 			t.Fatalf("cost %v outside [2,9)", c)
 		}
 	}
+	for trial := 0; trial < 10; trial++ {
+		n := 20 + rng.IntN(400)
+		sp := RandomSparse(n, 4, rng)
+		if !sp.IsBiconnected() {
+			t.Fatalf("RandomSparse produced a non-biconnected graph (trial %d)", trial)
+		}
+		// Density: the ring contributes n edges, the chord loop at
+		// most n more; duplicates only subtract.
+		if m := sp.M(); m < n || m > 2*n {
+			t.Fatalf("RandomSparse(%d, 4) has %d edges, want within [n, 2n]", n, m)
+		}
+	}
+}
+
+func TestRandomSparsePanicsOnLowDegree(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("RandomSparse(10, 1.5) did not panic")
+		}
+	}()
+	RandomSparse(10, 1.5, rand.New(rand.NewPCG(1, 1)))
 }
 
 func TestRingPanicsOnSmallN(t *testing.T) {

@@ -1,0 +1,141 @@
+package graph
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+)
+
+// This file negotiates the fixed-point cost regime that lets the
+// shortest-path layer swap its comparison heap for a monotone bucket
+// queue (internal/pq.Bucket): when every declared cost is an exact
+// multiple of a power-of-two quantum 1/Scale, every Dijkstra distance
+// is an exact integer multiple of the quantum too (sums of integers
+// below 2^53 are exact in float64), so tentative distances can index
+// bucket rows directly instead of paying O(log n) comparisons.
+//
+// The negotiation is a property of the declared cost vector, cached
+// beside the CSR adjacency view and invalidated by the same mutation
+// discipline: any SetCost drops it, and the next CostQuantum call
+// renegotiates. Cost views (WithCost/WithCosts) carry their own cost
+// vectors and therefore their own quantum caches, while sharing the
+// CSR topology box.
+
+// CostQuantum is a negotiated fixed-point regime for a cost vector.
+type CostQuantum struct {
+	// Scale is the exact power-of-two multiplier mapping every cost
+	// onto a non-negative integer: Cost(v)*Scale is integral for all v.
+	Scale float64
+	// Span is the largest scaled cost, rounded up and floored at 1 —
+	// the width of the key window a monotone Dijkstra run can occupy,
+	// and hence the bucket-row count a circular bucket queue needs.
+	Span int64
+}
+
+// Quantum negotiation limits. The regime is meant for genuinely
+// quantized declarations (integer prices, power levels in fixed
+// steps); a vector needing a finer grid, a wider window, or sums
+// beyond exact float64 integers falls back to the comparison heap.
+const (
+	quantMaxScalePow = 20      // finest quantum: 2^-20
+	quantMaxSpan     = 1 << 16 // widest bucket window
+	quantExactSum    = 1 << 52 // n·maxScaled must stay exactly summable
+)
+
+// quantCache is the immutable negotiation result behind the atomic
+// box; ok is false when the cost vector does not admit the regime.
+type quantCache struct {
+	q  CostQuantum
+	ok bool
+}
+
+// quantBox holds the lazily negotiated quantum behind an atomic
+// pointer, mirroring csrBox: racing negotiators of the same cost
+// vector compute identical results, so the CompareAndSwap loser just
+// discards its copy.
+type quantBox struct {
+	p atomic.Pointer[quantCache]
+}
+
+// invalidate drops the cached negotiation; called on cost mutation.
+func (b *quantBox) invalidate() {
+	if b != nil {
+		b.p.Store(nil)
+	}
+}
+
+// CostQuantum returns the fixed-point regime of the current cost
+// vector, negotiating and caching it on first use. ok is false when
+// the costs do not quantize (non-finite, finer than 2^-20, window or
+// magnitude overflow); callers must then stay on the comparison heap.
+//
+//lint:writer racing negotiators construct identical caches from the same cost vector; the CAS loser discards its copy unpublished
+func (g *NodeGraph) CostQuantum() (CostQuantum, bool) {
+	if c := g.quant.p.Load(); c != nil {
+		return c.q, c.ok
+	}
+	c := negotiateQuantum(g.cost)
+	if g.quant.p.CompareAndSwap(nil, c) {
+		return c.q, c.ok
+	}
+	c = g.quant.p.Load()
+	return c.q, c.ok
+}
+
+// negotiateQuantum scans a cost vector for the coarsest power-of-two
+// scale that maps every entry onto an integer, subject to the window
+// and exact-summation limits.
+func negotiateQuantum(costs []float64) *quantCache {
+	pow := 0
+	maxCost := 0.0
+	for _, c := range costs {
+		if c == 0 {
+			continue // zero is integral at every scale
+		}
+		k, ok := quantPow(c)
+		if !ok {
+			return &quantCache{}
+		}
+		if k > pow {
+			pow = k
+		}
+		if c > maxCost {
+			maxCost = c
+		}
+	}
+	scale := float64(int64(1) << pow) // exact
+	maxScaled := maxCost * scale      // product of exact values; checked below
+	if maxScaled > quantMaxSpan {
+		return &quantCache{}
+	}
+	if float64(len(costs))*maxScaled > quantExactSum {
+		return &quantCache{}
+	}
+	span := int64(maxScaled)
+	if float64(span) < maxScaled {
+		span++ // defensive: maxScaled is integral, but never round down
+	}
+	if span < 1 {
+		span = 1
+	}
+	return &quantCache{q: CostQuantum{Scale: scale, Span: span}, ok: true}
+}
+
+// quantPow returns the smallest k ≤ quantMaxScalePow such that
+// c·2^k is an exact integer, for finite c > 0.
+func quantPow(c float64) (int, bool) {
+	if math.IsInf(c, 0) || math.IsNaN(c) {
+		return 0, false
+	}
+	frac, exp := math.Frexp(c) // c = frac·2^exp, frac ∈ [0.5, 1)
+	mant := int64(frac * (1 << 53))
+	tz := bits.TrailingZeros64(uint64(mant))
+	k := 53 - tz - exp // c·2^k integral exactly for this and larger k
+	if k <= 0 {
+		return 0, true
+	}
+	if k > quantMaxScalePow {
+		return 0, false
+	}
+	return k, true
+}

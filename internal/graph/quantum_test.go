@@ -1,0 +1,111 @@
+package graph
+
+import (
+	"sync"
+	"testing"
+)
+
+func quantGraph(costs []float64) *NodeGraph {
+	g := NewNodeGraph(len(costs))
+	for v, c := range costs {
+		g.SetCost(v, c)
+	}
+	return g
+}
+
+func TestCostQuantumNegotiation(t *testing.T) {
+	cases := []struct {
+		name      string
+		costs     []float64
+		wantOK    bool
+		wantScale float64
+		wantSpan  int64
+	}{
+		{"integers", []float64{0, 1, 5, 3}, true, 1, 5},
+		{"all zero", []float64{0, 0, 0}, true, 1, 1},
+		{"quarters", []float64{0.25, 1.75, 2}, true, 4, 8},
+		{"halves and integers", []float64{0.5, 3}, true, 2, 6},
+		{"finest allowed", []float64{1.0 / (1 << 20)}, true, 1 << 20, 1},
+		{"too fine", []float64{1.0 / (1 << 21)}, false, 0, 0},
+		{"not dyadic", []float64{1.0 / 3.0}, false, 0, 0},
+		{"span at limit", []float64{1 << 16}, true, 1, 1 << 16},
+		{"span overflow", []float64{1<<16 + 1}, false, 0, 0},
+		{"infinite cost", []float64{Inf}, false, 0, 0},
+		// A fine quantum forced by one cost can push another cost's
+		// scaled value over the window even though each alone is fine.
+		{"mixed scale overflow", []float64{1.0 / 1024, 1 << 7}, false, 0, 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			g := quantGraph(tc.costs)
+			q, ok := g.CostQuantum()
+			if ok != tc.wantOK {
+				t.Fatalf("ok = %v, want %v (q=%+v)", ok, tc.wantOK, q)
+			}
+			if !ok {
+				return
+			}
+			if q.Scale != tc.wantScale || q.Span != tc.wantSpan {
+				t.Fatalf("quantum = %+v, want {Scale:%v Span:%d}", q, tc.wantScale, tc.wantSpan)
+			}
+			// The negotiated contract: every cost lands exactly on the
+			// grid and inside the window.
+			for v := range tc.costs {
+				s := g.Cost(v) * q.Scale
+				if s != float64(int64(s)) || int64(s) > q.Span {
+					t.Fatalf("cost %v scales to %v, off the negotiated grid/window", g.Cost(v), s)
+				}
+			}
+		})
+	}
+}
+
+func TestCostQuantumInvalidatedBySetCost(t *testing.T) {
+	g := quantGraph([]float64{1, 2, 3})
+	if _, ok := g.CostQuantum(); !ok {
+		t.Fatal("integer costs must negotiate")
+	}
+	g.SetCost(1, 1.0/3.0)
+	if _, ok := g.CostQuantum(); ok {
+		t.Fatal("quantum survived SetCost to a non-dyadic value")
+	}
+	g.SetCost(1, 0.5)
+	q, ok := g.CostQuantum()
+	if !ok || q.Scale != 2 {
+		t.Fatalf("renegotiation = (%+v, %v), want scale 2", q, ok)
+	}
+}
+
+func TestCostQuantumViewsAreIndependent(t *testing.T) {
+	g := quantGraph([]float64{1, 2, 3})
+	if _, ok := g.CostQuantum(); !ok {
+		t.Fatal("base graph must negotiate")
+	}
+	v := g.WithCost(1, 1.0/3.0)
+	if _, ok := v.CostQuantum(); ok {
+		t.Fatal("view with non-dyadic cost negotiated")
+	}
+	if _, ok := g.CostQuantum(); !ok {
+		t.Fatal("view negotiation leaked into the base graph")
+	}
+	w := g.WithCosts([]float64{0.25, 0.5, 0.75})
+	if q, ok := w.CostQuantum(); !ok || q.Scale != 4 {
+		t.Fatalf("WithCosts view = (%+v, %v), want scale 4", q, ok)
+	}
+}
+
+func TestCostQuantumConcurrentNegotiation(t *testing.T) {
+	g := quantGraph([]float64{0.5, 1.5, 2})
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			q, ok := g.CostQuantum()
+			if !ok || q.Scale != 2 || q.Span != 4 {
+				t.Errorf("concurrent negotiation = (%+v, %v)", q, ok)
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -80,7 +80,7 @@ func TestRelPath(t *testing.T) {
 // the compiler's escape analysis with zero heap escapes.
 func TestNoAllocGateOnRepo(t *testing.T) {
 	m := mustModule(t)
-	pkgs, err := m.Load("internal/core", "internal/sp", "internal/serve", "internal/obs")
+	pkgs, err := m.Load("internal/core", "internal/sp", "internal/pq", "internal/serve", "internal/obs")
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -3,6 +3,8 @@
 // gate reads real escape-analysis output, not a heuristic.
 package noalloc
 
+import "sort"
+
 // sum is genuinely allocation-free: pure arithmetic over the caller's
 // slice.
 //
@@ -33,4 +35,38 @@ func box(x int) any {
 // functions.
 func unannotated(n int) []int {
 	return make([]int, n)
+}
+
+// sortRow mirrors the bucket queue's dirty-row re-sort done wrong:
+// sort.Slice boxes the slice into an interface, a heap escape on
+// every call — the reason the real bucket (internal/pq) sorts with
+// the generic slices.Sort instead.
+//
+//lint:noalloc knowingly wrong; interface boxing on the sort call
+func sortRow(row []int, prio []float64) {
+	sort.Slice(row, func(i, j int) bool { return prio[row[i]] < prio[row[j]] }) // want `heap escape in //lint:noalloc function sortRow`
+}
+
+// relaxInto mirrors the delta-stepping relaxation done wrong: a
+// per-call request buffer escaping through a channel, the shape the
+// real engine (internal/sp/deltastep.go) avoids by reusing per-worker
+// buffers across phases.
+//
+//lint:noalloc knowingly wrong; the per-phase buffer escapes into the channel
+func relaxInto(ch chan []int, n int) {
+	buf := make([]int, 0, n) // want `heap escape in //lint:noalloc function relaxInto`
+	for v := 0; v < n; v++ {
+		buf = append(buf, v)
+	}
+	ch <- buf
+}
+
+// growRows is the clean bucket-shaped case the gate must accept:
+// appending into caller-owned rows (amortized growth through
+// runtime.growslice) is not a per-call heap escape.
+//
+//lint:noalloc the append-to-heap-slice case the gate must accept
+func growRows(rows [][]int32, r int, id int32) [][]int32 {
+	rows[r] = append(rows[r], id)
+	return rows
 }

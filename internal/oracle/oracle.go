@@ -10,6 +10,7 @@ import (
 	"truthroute/internal/dist"
 	"truthroute/internal/graph"
 	"truthroute/internal/mechanism"
+	"truthroute/internal/sp"
 )
 
 // Options selects which invariants CheckInstance verifies and how
@@ -226,6 +227,40 @@ func compareQuote(r *Result, check string, ref, got *core.Quote, costShift, tol 
 	}
 }
 
+// exactQuote holds an engine to BITWISE agreement with the naive
+// reference: identical path, identical cost bits, identical payment
+// bits. The bucket-frontier and delta-stepping engines earn this
+// stricter bar — their relaxation schedules provably reproduce the
+// sequential Dijkstra tree entry for entry (see the determinism
+// arguments in sp/deltastep.go and pq/bucket.go), so any drift, even
+// one ulp or a differently broken tie, is a bug, not a tie.
+func exactQuote(r *Result, check string, ref, got *core.Quote) {
+	r.check(check)
+	if !samePath(ref.Path, got.Path) {
+		r.violate(check, ref.Source, ref.Target, -1, "path %v, ref %v", got.Path, ref.Path)
+		return
+	}
+	if math.Float64bits(got.Cost) != math.Float64bits(ref.Cost) {
+		r.violate(check, ref.Source, ref.Target, -1,
+			"cost %g (bits %x), ref %g (bits %x)",
+			got.Cost, math.Float64bits(got.Cost), ref.Cost, math.Float64bits(ref.Cost))
+		return
+	}
+	if len(got.Payments) != len(ref.Payments) {
+		r.violate(check, ref.Source, ref.Target, -1,
+			"%d payment entries, ref has %d", len(got.Payments), len(ref.Payments))
+		return
+	}
+	for k, p := range ref.Payments {
+		gp, ok := got.Payments[k]
+		if !ok || math.Float64bits(gp) != math.Float64bits(p) {
+			r.violate(check, ref.Source, ref.Target, k,
+				"payment %g, ref %g (bitwise comparison)", gp, p)
+			return
+		}
+	}
+}
+
 // CheckInstance runs every enabled invariant over one topology with
 // destination dest and returns the aggregated result. It never
 // panics on well-formed graphs: unreachable sources, disconnected
@@ -243,6 +278,23 @@ func CheckInstance(g *graph.NodeGraph, dest int, opt Options) *Result {
 	batch := core.AllUnicastQuotes(g, dest)
 	lg := LinkEmbed(g)
 	allLink := core.AllLinkQuotes(lg, dest)
+
+	// The shared-frontier all-sources engine, with the threshold forced
+	// to 2 so it engages on every instance. When the cost regime rules
+	// delta-stepping out (zero relay costs), AllQuotes falls back to
+	// the fan-out path internally — the output contract is bitwise
+	// identity either way. A fresh Solver per instance keeps concurrent
+	// CheckInstance calls (the soak) independent.
+	deltaAll, _ := core.NewSolver(core.WithAllSourcesDelta(2, 0)).
+		AllQuotes(g, dest, core.EngineNaive)
+	// When the cost vector admits a fixed-point quantum, the default
+	// solver's auto policy runs Dijkstra on the monotone bucket queue;
+	// a solver pinned to the binary heap differentially verifies that
+	// the two frontiers break every tie identically.
+	var binSv *core.Solver
+	if _, quantOK := g.CostQuantum(); quantOK {
+		binSv = core.NewSolver(core.WithFrontier(sp.FrontierBinary))
+	}
 
 	var scaled *graph.NodeGraph
 	var perm []int
@@ -278,6 +330,10 @@ func CheckInstance(g *graph.NodeGraph, dest int, opt Options) *Result {
 			if allLink[s] != nil {
 				res.violate("engine-link", s, dest, -1, "link engine found a path where naive found none")
 			}
+			res.check("engine-delta")
+			if deltaAll[s] != nil {
+				res.violate("engine-delta", s, dest, -1, "delta engine found a path where naive found none")
+			}
 			res.skipped("unreachable")
 			continue
 		}
@@ -311,6 +367,18 @@ func CheckInstance(g *graph.NodeGraph, dest int, opt Options) *Result {
 			res.violate("engine-link", s, dest, -1, "batch link engine found no path")
 		} else {
 			compareQuote(res, "engine-link-batch", naive, allLink[s], g.Cost(s), opt.Tol)
+		}
+		if deltaAll[s] == nil {
+			res.violate("engine-delta", s, dest, -1, "delta engine found no path where naive found one")
+		} else {
+			exactQuote(res, "engine-delta", naive, deltaAll[s])
+		}
+		if binSv != nil {
+			if bq, berr := binSv.Quote(g, s, dest, core.EngineNaive); berr != nil {
+				res.violate("engine-frontier", s, dest, -1, "forced-binary solver errored: %v", berr)
+			} else {
+				exactQuote(res, "engine-frontier", naive, bq)
+			}
 		}
 
 		checkNeighborhood(res, g, naive, opt)

@@ -125,6 +125,7 @@ func TestCheckInstanceFixtures(t *testing.T) {
 			t.Errorf("%s: %s", name, v)
 		}
 		for _, want := range []string{"engine-batch", "engine-set", "engine-link",
+			"engine-delta", "engine-frontier",
 			"brute-reference", "neighborhood-brute", "individual-rationality",
 			"truthfulness", "meta-scaling", "meta-relabel", "meta-monotone",
 			"well-formed", "distributed"} {

@@ -1,0 +1,279 @@
+package pq
+
+import (
+	"math"
+	"slices"
+)
+
+// Bucket is a monotone circular bucket queue (Dial's structure) for
+// the fixed-point cost regime: priorities are exact multiples of a
+// power-of-two quantum 1/scale, so each priority maps to an integer
+// key and the queue keeps items in key-indexed rows instead of a
+// comparison heap. Push and DecreaseKey are O(1); Pop advances a
+// cursor monotonically and costs O(1) amortized plus one sort per row
+// drained (equal-priority ids pop in increasing order, preserving the
+// package-wide deterministic tie-break).
+//
+// The structure is circular: only span+1 rows exist, where span is
+// the largest scaled arc weight, because a monotone run's queued keys
+// always fit in the window [cursor, cursor+span] — exactly Dijkstra's
+// invariant that every tentative distance lies within one arc weight
+// of the last settled distance. The regime is a contract, not a
+// heuristic: a priority that does not quantize, escapes the window,
+// or goes below the cursor after pops have begun panics, and callers
+// (sp.Workspace) negotiate the regime against the declared cost
+// vector up front and fall back to the Binary heap when it does not
+// hold.
+type Bucket struct {
+	scale float64
+	span  int64
+	nb    int64 // rows in the circular structure: span+1
+	rows  [][]int32
+	dirty []bool // row needs re-sorting before its next pop
+
+	prio []float64 // exact priority per queued id
+	key  []int64   // scaled priority per queued id
+	row  []int32   // row index of id, -1 when absent
+	pos  []int32   // index of id within its row
+
+	size   int
+	cur    int64 // scaled key of the cursor (last pop, or min push)
+	maxKey int64 // largest scaled key seen since the window opened
+	popped bool  // a pop has happened since the window opened
+}
+
+// bucketKeyLimit bounds scaled keys: beyond 2^52 integer sums of
+// priorities are no longer exact in float64, so the regime is void.
+const bucketKeyLimit = int64(1) << 52
+
+// The regime-violation panics are outlined into //go:noinline helpers
+// so their interface boxing stays off the //lint:noalloc hot methods;
+// each fires only when the fixed-point contract is already broken,
+// where cost no longer matters.
+//
+//go:noinline
+func panicOffGrid() {
+	panic("pq: priority off the fixed-point grid (bucket regime violated)")
+}
+
+//go:noinline
+func panicSpanViolated() {
+	panic("pq: priority outside the bucket window (span regime violated)")
+}
+
+//go:noinline
+func panicMonotonicity() {
+	panic("pq: priority below the cursor (monotonicity violated)")
+}
+
+//go:noinline
+func panicDupPush() {
+	panic("pq: Push of item already in queue")
+}
+
+//go:noinline
+func panicEmptyPop() {
+	panic("pq: Pop from empty queue")
+}
+
+//go:noinline
+func panicDecreaseAbsent() {
+	panic("pq: DecreaseKey of item not in queue")
+}
+
+//go:noinline
+func panicDecreaseUp() {
+	panic("pq: DecreaseKey would increase priority")
+}
+
+// NewBucket returns an empty bucket queue for ids in [0, capacity)
+// whose priorities are multiples of 1/scale spanning at most span
+// quanta at any moment (span = largest scaled arc weight for a
+// Dijkstra frontier). scale must be positive and span at least 1.
+func NewBucket(capacity int, scale float64, span int64) *Bucket {
+	if !(scale > 0) || span < 1 {
+		panic("pq: NewBucket needs scale > 0 and span >= 1")
+	}
+	b := &Bucket{
+		scale: scale,
+		span:  span,
+		nb:    span + 1,
+		rows:  make([][]int32, span+1),
+		dirty: make([]bool, span+1),
+		prio:  make([]float64, capacity),
+		key:   make([]int64, capacity),
+		row:   make([]int32, capacity),
+		pos:   make([]int32, capacity),
+	}
+	for i := range b.row {
+		b.row[i] = -1
+	}
+	return b
+}
+
+// Len reports the number of queued items.
+func (b *Bucket) Len() int { return b.size }
+
+// Contains reports whether id is currently queued.
+func (b *Bucket) Contains(id int) bool { return b.row[id] >= 0 }
+
+// Priority returns the current priority of a queued id.
+func (b *Bucket) Priority(id int) float64 {
+	if b.row[id] < 0 {
+		panic("pq: Priority of item not in queue")
+	}
+	return b.prio[id]
+}
+
+// Reset empties the queue in O(span + queued items), keeping the
+// backing arrays, and re-opens the key window.
+func (b *Bucket) Reset() {
+	for r := range b.rows {
+		for _, id := range b.rows[r] {
+			b.row[id] = -1
+		}
+		b.rows[r] = b.rows[r][:0]
+		b.dirty[r] = false
+	}
+	b.size = 0
+	b.cur = 0
+	b.maxKey = 0
+	b.popped = false
+}
+
+// quantize maps a priority onto its scaled integer key, panicking
+// when the priority is not on the negotiated grid — the precision
+// guard that keeps bucket placement exact rather than approximate.
+func (b *Bucket) quantize(p float64) int64 {
+	v := p * b.scale
+	//lint:allow floatcmp exactness IS the contract: a key off the fixed-point grid voids the regime and must panic, not round
+	if !(v >= 0) || v > float64(bucketKeyLimit) || v != math.Trunc(v) {
+		panicOffGrid()
+	}
+	return int64(v)
+}
+
+// admit checks k against the monotone window and moves the window
+// edges, panicking on a regime violation: a key more than span quanta
+// above the cursor, or below the cursor once pops have begun.
+func (b *Bucket) admit(k int64) {
+	if b.size == 0 {
+		b.cur, b.maxKey, b.popped = k, k, false
+		return
+	}
+	switch {
+	case k > b.maxKey:
+		if k-b.cur > b.span {
+			panicSpanViolated()
+		}
+		b.maxKey = k
+	case k < b.cur:
+		if b.popped {
+			panicMonotonicity()
+		}
+		if b.maxKey-k > b.span {
+			panicSpanViolated()
+		}
+		b.cur = k
+	}
+}
+
+// place appends id to the row of key k. The row only turns dirty
+// when the append breaks its descending-id order — an id smaller than
+// the current tail extends the sorted suffix for free, which skips
+// the re-sort entirely for rows filled in decreasing id order.
+func (b *Bucket) place(id int, k int64) {
+	r := k % b.nb
+	row := b.rows[r]
+	b.key[id] = k
+	b.row[id] = int32(r)
+	b.pos[id] = int32(len(row))
+	b.rows[r] = append(row, int32(id))
+	if n := len(row); n > 0 && row[n-1] < int32(id) {
+		b.dirty[r] = true
+	}
+	b.size++
+}
+
+// Push inserts id with the given priority.
+//
+//lint:noalloc the bucket frontier hot path: O(1) placement, no comparison heap
+func (b *Bucket) Push(id int, priority float64) {
+	if b.row[id] >= 0 {
+		panicDupPush()
+	}
+	k := b.quantize(priority)
+	b.admit(k)
+	b.prio[id] = priority
+	b.place(id, k)
+}
+
+// Pop removes and returns the id with the smallest priority, breaking
+// ties by smaller id. The cursor never moves backwards across a Pop,
+// which is what makes the circular window sound.
+//
+//lint:noalloc the bucket frontier hot path: cursor advance plus an in-place row sort
+func (b *Bucket) Pop() (int, float64) {
+	if b.size == 0 {
+		panicEmptyPop()
+	}
+	r := b.cur % b.nb
+	for len(b.rows[r]) == 0 {
+		b.cur++
+		r = b.cur % b.nb
+	}
+	b.popped = true
+	if b.dirty[r] {
+		row := b.rows[r]
+		// Descending by id: the minimum id sits at the tail, so every
+		// pop from this row is an O(1) truncation. Ascending sort plus
+		// reverse hits the ordered-type fast path, which beats a
+		// comparator-closure descending sort by a wide margin.
+		slices.Sort(row)
+		slices.Reverse(row)
+		for i, id := range row {
+			b.pos[id] = int32(i)
+		}
+		b.dirty[r] = false
+	}
+	last := len(b.rows[r]) - 1
+	id := int(b.rows[r][last])
+	b.rows[r] = b.rows[r][:last]
+	b.row[id] = -1
+	b.size--
+	return id, b.prio[id]
+}
+
+// DecreaseKey lowers the priority of a queued id, moving it between
+// rows. Lowering to an equal priority is a no-op (the fixed-point
+// grid makes equal keys equal priorities).
+//
+//lint:noalloc the bucket frontier hot path: swap-remove and re-place, no tree surgery
+func (b *Bucket) DecreaseKey(id int, priority float64) {
+	if b.row[id] < 0 {
+		panicDecreaseAbsent()
+	}
+	if priority > b.prio[id] {
+		panicDecreaseUp()
+	}
+	k := b.quantize(priority)
+	if k == b.key[id] {
+		return
+	}
+	b.admit(k)
+	// Swap-remove from the old row; the displaced tail id keeps the
+	// row consistent but may break its sortedness.
+	r, p := b.row[id], b.pos[id]
+	rowSlice := b.rows[r]
+	last := len(rowSlice) - 1
+	moved := rowSlice[last]
+	rowSlice[p] = moved
+	b.pos[moved] = p
+	b.rows[r] = rowSlice[:last]
+	if p != int32(last) {
+		b.dirty[r] = true
+	}
+	b.size--
+	b.prio[id] = priority
+	b.place(id, k)
+}

@@ -2,13 +2,33 @@
 // priorities, specialized for shortest-path computations where items
 // are small non-negative integer ids (graph vertices or edges).
 //
-// Two implementations are provided with the same interface: a classic
-// array-backed binary heap (Binary) and a pairing heap (Pairing).
-// Both support DecreaseKey in O(log n) / amortized o(log n)
-// respectively, which is what Dijkstra-style relaxations need.
+// Three implementations share the Queue interface:
+//
+//   - Binary: a classic array-backed binary heap. O(log n) per
+//     operation, allocation-free after construction, and the default
+//     frontier for every solver path.
+//   - Bucket: a monotone circular bucket queue (Dial's structure) for
+//     the fixed-point cost regime negotiated by
+//     graph.(*NodeGraph).CostQuantum. O(1) Push/DecreaseKey with no
+//     comparisons; only usable when priorities are quantized and the
+//     consumer is monotone (Dijkstra), which sp.Workspace checks
+//     before engaging it.
+//   - Pairing: a pointer-based pairing heap with amortized o(log n)
+//     DecreaseKey. Demoted to oracle-only duty: every benchmark we
+//     have run shows it strictly worse than Binary on this workload
+//     (~1.6× slower and thousands of allocs/op from its node pool
+//     churn, see BENCH_payments.json history), because Dijkstra on
+//     sparse graphs does few DecreaseKeys relative to Pops and the
+//     pointer chasing defeats the cache. It stays in the tree as an
+//     independently derived implementation for the cross-engine
+//     differential oracle — agreement between structurally unrelated
+//     heaps is evidence the tie-break contract, not the data
+//     structure, determines output — but it is not benchmarked on the
+//     default path and must not be wired into production solvers.
 package pq
 
-// Queue is the common interface implemented by Binary and Pairing.
+// Queue is the common interface implemented by Binary, Bucket, and
+// Pairing.
 // Items are dense integer ids in [0, capacity). Each id may be in the
 // queue at most once.
 type Queue interface {

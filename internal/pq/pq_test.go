@@ -11,6 +11,9 @@ import (
 var makers = map[string]func(cap int) Queue{
 	"binary":  func(c int) Queue { return NewBinary(c) },
 	"pairing": func(c int) Queue { return NewPairing(c) },
+	// The shared cases all use integer priorities no more than 64
+	// apart at any moment, which is inside the bucket regime.
+	"bucket": func(c int) Queue { return NewBucket(c, 1, 64) },
 }
 
 func TestPushPopSorted(t *testing.T) {

@@ -1,0 +1,530 @@
+package sp
+
+import (
+	"math"
+	"runtime"
+	"slices"
+
+	"truthroute/internal/graph"
+)
+
+// This file implements delta-stepping (Meyer & Sanders, "Δ-stepping:
+// a parallelizable shortest path algorithm") specialized to the
+// paper's node-weighted cost model. Because every arc out of a node u
+// carries the same weight — u's relay cost, or 0 when u is the source
+// — a node is entirely "light" (cost < delta) or entirely "heavy",
+// which collapses the per-edge light/heavy split of the general
+// algorithm into a per-node one.
+//
+// Parallel structure: node v is owned by worker v mod W. Owners are
+// the only writers of v's distance/parent/bucket state, so the shared
+// arrays need no locks; cross-owner relaxations travel as requests in
+// per-(generator, owner) buffers, written only by their generator and
+// drained only by their owner, with coordinator barriers (one channel
+// send/receive per worker per phase) ordering generation before
+// application. Every phase processes requests in a fixed worker order
+// and every bucket drains in a deterministic sequence, so the run is
+// bit-reproducible regardless of goroutine scheduling — and, by the
+// canonical tie-break below, equal to sequential Dijkstra.
+//
+// Determinism argument. Sequential Dijkstra with the (priority, id)
+// pop order assigns v the parent that is lexicographically minimal in
+// (dist(v) via u, dist(u), u) over all neighbours u of v. The apply
+// phase here accepts a relaxation request (nd, du, u) for v exactly
+// when it is lexicographically smaller than the incumbent (Dist[v],
+// pdist[v], Parent[v]) triple. Stale requests (generated before their
+// node's distance settled) are always lexicographically ≥ the request
+// regenerated at settlement, so the fixpoint of this rule — which
+// delta-stepping reaches no matter how relaxations interleave — is
+// the sequential tree, entry for entry. The settle Order is
+// reconstructed afterwards by sorting reached nodes on (Dist, id)
+// with the source first, which equals Dijkstra's pop order precisely
+// because all relay costs are strictly positive (a node's parent
+// always pops strictly earlier, so all nodes of one distance are
+// queued before the first of them pops and drain in id order).
+// Graphs with zero, negative, or non-finite relay costs fall back to
+// the sequential workspace engine.
+
+// dsReq is one relaxation request: candidate distance nd for node v
+// via parent u whose generation-time distance was du.
+type dsReq struct {
+	nd, du float64
+	u, v   int32
+}
+
+// dsWorker is the per-worker state: the circular bucket rows of its
+// owned nodes, its rollback ledger, the nodes it removed from the
+// current bucket (for heavy-edge generation), and one outgoing
+// request buffer per destination owner.
+type dsWorker struct {
+	id      int
+	rows    [][]int32 // circular: absolute bucket b lives in rows[b%nb]
+	touched []int32   // owned nodes whose tree entries this run wrote
+	r       []int32   // nodes removed from the current bucket
+	reqs    [][]dsReq // outgoing requests, indexed by destination owner
+}
+
+// DeltaStepper runs parallel single-source shortest paths over one
+// reusable set of arrays, with the same rollback discipline and Tree
+// contract as Workspace: the returned Tree aliases internal state and
+// is valid until the next Run; a DeltaStepper is not safe for
+// concurrent use.
+type DeltaStepper struct {
+	n       int
+	workers int
+
+	tree    Tree
+	pdist   []float64 // generation-time parent distance of the incumbent
+	nodeB   []int64   // absolute bucket of a queued node, -1 when absent
+	nodePos []int32   // index within its row
+	inR     []bool    // already recorded in an r list this bucket
+
+	userDelta float64
+	delta     float64
+	nb        int
+	curB      int64
+
+	ws   []dsWorker
+	cmd  []chan int
+	resp chan int64
+
+	prepared *graph.NodeGraph
+	ok       bool
+	maxCost  float64
+
+	g      *graph.NodeGraph
+	csr    *graph.CSR
+	src    int
+	banned []bool
+
+	midx []int      // merge cursors, one per worker
+	seq  *Workspace // sequential fallback engine
+}
+
+// Worker phase commands, broadcast by the coordinator.
+const (
+	dsPhRollback = iota // undo the previous run's writes to owned nodes
+	dsPhLightGen        // drain current bucket, emit light requests
+	dsPhApply           // consume inbound requests, report bucket refill
+	dsPhHeavyGen        // emit heavy requests from this bucket's removals
+	dsPhScan            // find the next non-empty owned bucket
+	dsPhSort            // sort owned touched nodes by (dist, id)
+)
+
+// NewDeltaStepper returns a stepper for n-node graphs using the given
+// worker count (0 means GOMAXPROCS).
+func NewDeltaStepper(n, workers int) *DeltaStepper {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > 64 {
+		workers = 64
+	}
+	d := &DeltaStepper{workers: workers, resp: make(chan int64, workers)}
+	d.ws = make([]dsWorker, workers)
+	for i := range d.ws {
+		d.ws[i] = dsWorker{id: i, reqs: make([][]dsReq, workers)}
+	}
+	d.midx = make([]int, workers)
+	d.resize(n)
+	return d
+}
+
+// Workers reports the configured worker count.
+func (d *DeltaStepper) Workers() int { return d.workers }
+
+// SetDelta overrides the bucket width. 0 restores the automatic
+// choice (maxCost/8). Takes effect at the next Prepare.
+func (d *DeltaStepper) SetDelta(delta float64) {
+	d.userDelta = delta
+	d.prepared = nil
+}
+
+// resize re-targets the stepper at an n-node graph.
+func (d *DeltaStepper) resize(n int) {
+	if n == d.n && d.pdist != nil {
+		return
+	}
+	d.n = n
+	d.tree = Tree{Dist: make([]float64, n), Parent: make([]int, n), Order: make([]int, 0, n)}
+	d.pdist = make([]float64, n)
+	d.nodeB = make([]int64, n)
+	d.nodePos = make([]int32, n)
+	d.inR = make([]bool, n)
+	for i := 0; i < n; i++ {
+		d.tree.Dist[i] = Inf
+		d.tree.Parent[i] = -1
+		d.pdist[i] = Inf
+		d.nodeB[i] = -1
+	}
+	for i := range d.ws {
+		d.ws[i].touched = d.ws[i].touched[:0]
+		d.ws[i].r = d.ws[i].r[:0]
+	}
+}
+
+// Prepare validates g for delta-stepping and fixes the bucket
+// geometry; it reports whether the parallel engine applies (all relay
+// costs strictly positive and finite). Run calls it implicitly when
+// the graph changes, but a caller doing many runs over one graph can
+// call it once up front. Mutating g's costs after Prepare without
+// re-preparing is a caller error, like mutating a graph mid-run.
+func (d *DeltaStepper) Prepare(g *graph.NodeGraph) bool {
+	d.prepared = g
+	d.resize(g.N())
+	maxC := 0.0
+	ok := g.N() >= 2
+	for v := 0; ok && v < g.N(); v++ {
+		c := g.Cost(v)
+		if !(c > 0) || math.IsInf(c, 1) {
+			ok = false
+			break
+		}
+		if c > maxC {
+			maxC = c
+		}
+	}
+	d.ok = ok
+	if !ok {
+		return false
+	}
+	d.maxCost = maxC
+	delta := d.userDelta
+	if !(delta > 0) {
+		delta = maxC / 8
+	}
+	nb := int(math.Ceil(maxC/delta)) + 2
+	if nb > 1<<16 { // a pathological user delta: fall back to auto
+		delta = maxC / 8
+		nb = int(math.Ceil(maxC/delta)) + 2
+	}
+	d.delta = delta
+	if nb != d.nb {
+		d.nb = nb
+		for i := range d.ws {
+			d.ws[i].rows = make([][]int32, nb)
+		}
+	}
+	return true
+}
+
+// Run computes the shortest path tree from src, in parallel when the
+// cost regime admits it and via the sequential workspace engine
+// otherwise. The contract matches Workspace.NodeDijkstra exactly:
+// same distances, same parents, same settle order, banned nodes never
+// entered.
+func (d *DeltaStepper) Run(g *graph.NodeGraph, src int, banned []bool) *Tree {
+	if d.prepared != g {
+		d.Prepare(g)
+	}
+	if !d.ok {
+		if d.seq == nil {
+			d.seq = NewWorkspace(g.N())
+		}
+		return d.seq.NodeDijkstra(g, src, banned)
+	}
+	obsDeltaRuns.Inc()
+	d.g, d.src, d.banned = g, src, banned
+	d.csr = g.CSR()
+	d.start()
+	d.broadcastSum(dsPhRollback)
+	// Seed the source. Its pdist is -Inf so no request ever wins the
+	// lexicographic comparison against it: the root keeps parent -1.
+	t := &d.tree
+	t.Src = src
+	t.Dist[src] = 0
+	d.pdist[src] = math.Inf(-1)
+	owner := &d.ws[src%d.workers]
+	owner.touched = append(owner.touched, int32(src))
+	owner.insert(d, src, 0)
+	d.curB = 0
+	for {
+		for { // light loop: repeat while relaxations refill this bucket
+			d.broadcastSum(dsPhLightGen)
+			if d.broadcastSum(dsPhApply) == 0 {
+				break
+			}
+		}
+		d.broadcastSum(dsPhHeavyGen)
+		d.broadcastSum(dsPhApply)
+		next := d.broadcastMin(dsPhScan)
+		if next < 0 {
+			break
+		}
+		d.curB = next
+	}
+	d.broadcastSum(dsPhSort)
+	d.stop()
+	d.mergeOrder()
+	obsRuns.Inc()
+	return t
+}
+
+// start launches the phase workers; with one worker every phase runs
+// inline on the coordinator and no goroutines exist.
+func (d *DeltaStepper) start() {
+	if d.workers == 1 {
+		return
+	}
+	d.cmd = make([]chan int, d.workers)
+	for i := range d.ws {
+		ch := make(chan int)
+		d.cmd[i] = ch
+		w := &d.ws[i]
+		go func() {
+			for ph := range ch { // shutdown tie: stop() closes ch
+				d.resp <- w.do(d, ph)
+			}
+		}()
+	}
+}
+
+// stop retires the phase workers.
+func (d *DeltaStepper) stop() {
+	if d.workers == 1 {
+		return
+	}
+	for _, ch := range d.cmd {
+		close(ch)
+	}
+}
+
+// broadcastSum runs one phase on every worker (a full barrier: all
+// responses are collected before returning) and sums the responses.
+func (d *DeltaStepper) broadcastSum(ph int) int64 {
+	if d.workers == 1 {
+		return d.ws[0].do(d, ph)
+	}
+	for _, ch := range d.cmd {
+		ch <- ph
+	}
+	var sum int64
+	for range d.ws {
+		sum += <-d.resp
+	}
+	return sum
+}
+
+// broadcastMin is broadcastSum folding with min over non-negative
+// responses; -1 when every worker reported none.
+func (d *DeltaStepper) broadcastMin(ph int) int64 {
+	if d.workers == 1 {
+		return d.ws[0].do(d, ph)
+	}
+	for _, ch := range d.cmd {
+		ch <- ph
+	}
+	best := int64(-1)
+	for range d.ws {
+		if r := <-d.resp; r >= 0 && (best < 0 || r < best) {
+			best = r
+		}
+	}
+	return best
+}
+
+// do dispatches one phase on this worker.
+func (w *dsWorker) do(d *DeltaStepper, ph int) int64 {
+	switch ph {
+	case dsPhRollback:
+		for _, v := range w.touched {
+			d.tree.Dist[v] = Inf
+			d.tree.Parent[v] = -1
+			d.pdist[v] = Inf
+			d.nodeB[v] = -1
+		}
+		w.touched = w.touched[:0]
+	case dsPhLightGen:
+		w.lightGen(d)
+	case dsPhApply:
+		return w.apply(d)
+	case dsPhHeavyGen:
+		w.generate(d, w.r, false)
+		for _, v := range w.r {
+			d.inR[v] = false
+		}
+		w.r = w.r[:0]
+	case dsPhScan:
+		for i := 1; i < d.nb; i++ {
+			if len(w.rows[(d.curB+int64(i))%int64(d.nb)]) > 0 {
+				return d.curB + int64(i)
+			}
+		}
+		return -1
+	case dsPhSort:
+		dist := d.tree.Dist
+		slices.SortFunc(w.touched, func(a, b int32) int {
+			da, db := dist[a], dist[b]
+			switch {
+			case da < db:
+				return -1
+			case da > db:
+				return 1
+			}
+			return int(a) - int(b)
+		})
+	}
+	return 0
+}
+
+// lightGen drains this worker's current bucket row, records the
+// removals for the heavy phase, and emits requests for light nodes.
+func (w *dsWorker) lightGen(d *DeltaStepper) {
+	row := int(d.curB % int64(d.nb))
+	drained := w.rows[row]
+	w.rows[row] = drained[:0]
+	for _, v := range drained {
+		d.nodeB[v] = -1
+		if !d.inR[v] {
+			d.inR[v] = true
+			w.r = append(w.r, v)
+		}
+	}
+	w.generate(d, drained, true)
+}
+
+// generate emits relaxation requests from the given nodes, filtered
+// to the light or heavy class. A node's class is decided by its
+// effective relay cost — 0 for the source, so the source is always
+// light and its neighbours land at its own distance.
+func (w *dsWorker) generate(d *DeltaStepper, from []int32, light bool) {
+	wn := d.workers
+	for _, u32 := range from {
+		u := int(u32)
+		cu := d.g.Cost(u)
+		if u == d.src {
+			cu = 0
+		}
+		if (cu < d.delta) != light {
+			continue
+		}
+		du := d.tree.Dist[u]
+		nd := du + cu
+		for _, v32 := range d.csr.Neighbors(u) {
+			if d.banned != nil && d.banned[v32] {
+				continue
+			}
+			o := int(v32) % wn
+			w.reqs[o] = append(w.reqs[o], dsReq{nd: nd, du: du, u: u32, v: v32})
+		}
+	}
+}
+
+// apply consumes every request addressed to this worker's nodes,
+// applying the canonical lexicographic relaxation, and reports how
+// many owned nodes now sit (again) in the current bucket — the light
+// loop's continuation signal. This is the delta-stepping inner
+// relaxation: it must stay allocation-free apart from amortized
+// bucket/ledger growth.
+//
+//lint:noalloc the parallel relaxation hot loop; per-request heap traffic would serialize the whole engine on the allocator
+func (w *dsWorker) apply(d *DeltaStepper) int64 {
+	me := w.id
+	dist := d.tree.Dist
+	parent := d.tree.Parent
+	for i := range d.ws {
+		buf := d.ws[i].reqs[me]
+		for _, r := range buf {
+			v := int(r.v)
+			dv := dist[v]
+			if r.nd > dv {
+				continue
+			}
+			//lint:allow floatcmp canonical tie-break: equal candidate distances resolve on (parent distance, parent id), bit-exactly as sequential Dijkstra does
+			if r.nd == dv {
+				//lint:allow floatcmp second lexicographic component of the same tie-break
+				if r.du > d.pdist[v] || (r.du == d.pdist[v] && int(r.u) >= parent[v]) {
+					continue
+				}
+				d.pdist[v] = r.du
+				parent[v] = int(r.u)
+				continue
+			}
+			if parent[v] < 0 {
+				w.touched = append(w.touched, r.v)
+			}
+			dist[v] = r.nd
+			d.pdist[v] = r.du
+			parent[v] = int(r.u)
+			b := int64(r.nd / d.delta)
+			if d.nodeB[v] >= 0 {
+				if d.nodeB[v] == b {
+					continue
+				}
+				w.remove(d, v)
+			}
+			w.insert(d, v, b)
+		}
+		d.ws[i].reqs[me] = buf[:0]
+	}
+	return int64(len(w.rows[int(d.curB%int64(d.nb))]))
+}
+
+// panicWindowOverflow is outlined so its panic argument (an
+// interface boxing) stays off insert's caller, the noalloc-annotated
+// apply loop.
+//
+//go:noinline
+func panicWindowOverflow() {
+	panic("sp: delta bucket window overflow")
+}
+
+// insert places owned node v into absolute bucket b.
+func (w *dsWorker) insert(d *DeltaStepper, v int, b int64) {
+	r := int(b % int64(d.nb))
+	if len(w.rows[r]) > 0 && d.nodeB[w.rows[r][0]] != b {
+		panicWindowOverflow()
+	}
+	d.nodeB[v] = b
+	d.nodePos[v] = int32(len(w.rows[r]))
+	w.rows[r] = append(w.rows[r], int32(v))
+}
+
+// remove takes owned node v out of its current bucket (swap-remove).
+func (w *dsWorker) remove(d *DeltaStepper, v int) {
+	r := int(d.nodeB[v] % int64(d.nb))
+	p := d.nodePos[v]
+	row := w.rows[r]
+	last := len(row) - 1
+	moved := row[last]
+	row[p] = moved
+	d.nodePos[moved] = p
+	w.rows[r] = row[:last]
+	d.nodeB[v] = -1
+}
+
+// mergeOrder rebuilds the sequential settle order from the per-worker
+// (dist, id)-sorted touched lists: source first, then a k-way merge.
+func (d *DeltaStepper) mergeOrder() {
+	t := &d.tree
+	t.Order = append(t.Order[:0], d.src)
+	idx := d.midx
+	for i := range idx {
+		idx[i] = 0
+	}
+	for {
+		best := -1
+		var bd float64
+		var bid int32
+		for i := range d.ws {
+			ti := d.ws[i].touched
+			for idx[i] < len(ti) && int(ti[idx[i]]) == d.src {
+				idx[i]++
+			}
+			if idx[i] >= len(ti) {
+				continue
+			}
+			id := ti[idx[i]]
+			dv := t.Dist[id]
+			//lint:allow floatcmp merge tie-break mirrors the (dist, id) sort key; exact equality is the tie being broken
+			if best < 0 || dv < bd || (dv == bd && id < bid) {
+				best, bd, bid = i, dv, id
+			}
+		}
+		if best < 0 {
+			return
+		}
+		t.Order = append(t.Order, int(bid))
+		idx[best]++
+	}
+}

@@ -1,0 +1,153 @@
+package sp
+
+import (
+	"math/rand/v2"
+	"reflect"
+	"testing"
+
+	"truthroute/internal/graph"
+)
+
+// positiveGraph builds a random biconnected graph with strictly
+// positive continuous costs — the regime the parallel engine serves.
+func positiveGraph(t *testing.T, n int, seed uint64) *graph.NodeGraph {
+	t.Helper()
+	rng := rand.New(rand.NewPCG(seed, 1))
+	g := graph.RandomBiconnected(n, 3.0/float64(n), rng)
+	for v := 0; v < n; v++ {
+		g.SetCost(v, 0.1+rng.Float64()*4)
+	}
+	return g
+}
+
+// TestDeltaStepMatchesDijkstra is the core equivalence statement:
+// for every source, every worker count, and both continuous and
+// quantized positive costs, the delta-stepping tree must equal the
+// sequential workspace tree entry for entry — distances, parents,
+// and settle order.
+func TestDeltaStepMatchesDijkstra(t *testing.T) {
+	for _, workers := range []int{1, 2, 3, 8} {
+		for seed := uint64(1); seed <= 4; seed++ {
+			g := positiveGraph(t, 56, seed)
+			if seed%2 == 0 { // quantize half the cases
+				for v := 0; v < g.N(); v++ {
+					g.SetCost(v, 0.25+float64(int(g.Cost(v)*4))/4)
+				}
+			}
+			ds := NewDeltaStepper(g.N(), workers)
+			w := NewWorkspace(g.N())
+			for src := 0; src < g.N(); src++ {
+				got := cloneTree(ds.Run(g, src, nil))
+				want := cloneTree(w.NodeDijkstra(g, src, nil))
+				if !reflect.DeepEqual(got, want) {
+					t.Fatalf("workers=%d seed=%d src=%d: delta tree differs from Dijkstra", workers, seed, src)
+				}
+			}
+		}
+	}
+}
+
+// TestDeltaStepWithBans covers the replacement-path shape: the same
+// equivalence must hold with interior nodes banned.
+func TestDeltaStepWithBans(t *testing.T) {
+	g := positiveGraph(t, 48, 11)
+	ds := NewDeltaStepper(g.N(), 4)
+	w := NewWorkspace(g.N())
+	banned := make([]bool, g.N())
+	for b := 1; b < g.N(); b += 2 {
+		banned[b] = true
+		got := cloneTree(ds.Run(g, 0, banned))
+		want := cloneTree(w.NodeDijkstra(g, 0, banned))
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("ban %d: delta tree differs from Dijkstra", b)
+		}
+		banned[b] = false
+	}
+}
+
+// TestDeltaStepFallsBackOnZeroCosts pins the regime gate: zero relay
+// costs (legal in the mechanism, fatal to the settle-order
+// reconstruction) must route to the sequential engine and still give
+// correct trees.
+func TestDeltaStepFallsBackOnZeroCosts(t *testing.T) {
+	rng := rand.New(rand.NewPCG(5, 5))
+	g := graph.RandomBiconnected(40, 0.1, rng)
+	for v := 0; v < g.N(); v++ {
+		g.SetCost(v, float64(rng.IntN(4))) // zeros present
+	}
+	ds := NewDeltaStepper(g.N(), 4)
+	if ds.Prepare(g) {
+		t.Fatal("Prepare accepted zero relay costs")
+	}
+	w := NewWorkspace(g.N())
+	for src := 0; src < g.N(); src += 5 {
+		got := cloneTree(ds.Run(g, src, nil))
+		want := cloneTree(w.NodeDijkstra(g, src, nil))
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("src %d: fallback tree differs from Dijkstra", src)
+		}
+	}
+}
+
+// TestDeltaStepReuseAcrossGraphs exercises the rollback ledger: one
+// stepper alternating between two graphs (one parallel-eligible, one
+// fallback) and many sources must never leak state between runs.
+func TestDeltaStepReuseAcrossGraphs(t *testing.T) {
+	a := positiveGraph(t, 40, 21)
+	b := positiveGraph(t, 40, 22)
+	ds := NewDeltaStepper(a.N(), 3)
+	w := NewWorkspace(a.N())
+	for i := 0; i < 30; i++ {
+		g := a
+		if i%2 == 1 {
+			g = b
+		}
+		src := (i * 7) % g.N()
+		got := cloneTree(ds.Run(g, src, nil))
+		want := cloneTree(w.NodeDijkstra(g, src, nil))
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("run %d (src %d): reused stepper diverged", i, src)
+		}
+	}
+}
+
+// TestDeltaStepCustomDelta sweeps bucket widths, including degenerate
+// ones (everything light, everything heavy), which must only change
+// the schedule, never the tree.
+func TestDeltaStepCustomDelta(t *testing.T) {
+	g := positiveGraph(t, 44, 31)
+	w := NewWorkspace(g.N())
+	for _, delta := range []float64{0.01, 0.5, 2, 1e6} {
+		ds := NewDeltaStepper(g.N(), 4)
+		ds.SetDelta(delta)
+		for src := 0; src < g.N(); src += 7 {
+			got := cloneTree(ds.Run(g, src, nil))
+			want := cloneTree(w.NodeDijkstra(g, src, nil))
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("delta=%v src=%d: tree differs from Dijkstra", delta, src)
+			}
+		}
+	}
+}
+
+// TestDeltaStepDisconnected checks unreachable components stay
+// +Inf/-1 and out of Order.
+func TestDeltaStepDisconnected(t *testing.T) {
+	g := graph.NewNodeGraph(6)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(3, 4) // 3-4-5 disconnected from 0-1-2
+	g.AddEdge(4, 5)
+	for v := 0; v < 6; v++ {
+		g.SetCost(v, 1+float64(v))
+	}
+	ds := NewDeltaStepper(6, 2)
+	got := cloneTree(ds.Run(g, 0, nil))
+	want := cloneTree(NewWorkspace(6).NodeDijkstra(g, 0, nil))
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("disconnected: got %+v want %+v", got, want)
+	}
+	if got.Reachable(3) || len(got.Order) != 3 {
+		t.Fatalf("unreachable component leaked into the tree: %+v", got)
+	}
+}

@@ -1,0 +1,123 @@
+package sp
+
+import (
+	"math/rand/v2"
+	"reflect"
+	"testing"
+
+	"truthroute/internal/graph"
+	"truthroute/internal/pq"
+)
+
+// quantizedGraph builds a random biconnected graph whose costs are
+// multiples of 1/4 — squarely inside the bucket regime.
+func quantizedGraph(t *testing.T, n int, seed uint64) *graph.NodeGraph {
+	t.Helper()
+	rng := rand.New(rand.NewPCG(seed, 0))
+	g := graph.RandomBiconnected(n, 3.0/float64(n), rng)
+	for v := 0; v < n; v++ {
+		g.SetCost(v, float64(rng.IntN(32))/4)
+	}
+	return g
+}
+
+func cloneTree(tr *Tree) *Tree {
+	return &Tree{
+		Src:    tr.Src,
+		Dist:   append([]float64(nil), tr.Dist...),
+		Parent: append([]int(nil), tr.Parent...),
+		Order:  append([]int(nil), tr.Order...),
+	}
+}
+
+// TestFrontierAutoEngagesBucket pins the auto policy: quantized costs
+// pick the bucket, continuous costs fall back to the heap, and a cost
+// mutation that breaks the regime flips the choice on the next run.
+func TestFrontierAutoEngagesBucket(t *testing.T) {
+	g := quantizedGraph(t, 64, 1)
+	w := NewWorkspace(g.N())
+	if _, ok := w.frontierFor(g).(*pq.Bucket); !ok {
+		t.Fatal("quantized costs did not engage the bucket frontier")
+	}
+	g.SetCost(3, 1.0/3.0) // off every dyadic grid
+	if _, ok := w.frontierFor(g).(*pq.Bucket); ok {
+		t.Fatal("non-dyadic cost still on the bucket frontier")
+	}
+	g.SetCost(3, 0.75)
+	if _, ok := w.frontierFor(g).(*pq.Bucket); !ok {
+		t.Fatal("regime restored but bucket not re-engaged")
+	}
+	w.SetFrontier(FrontierBinary)
+	if _, ok := w.frontierFor(g).(*pq.Bucket); ok {
+		t.Fatal("FrontierBinary still returned the bucket")
+	}
+}
+
+// TestFrontierBucketTreesBitIdentical runs every source of several
+// quantized random graphs under both frontiers and demands identical
+// trees — distances, parents, and settle order. This is the
+// workspace-level statement of the determinism argument: exact
+// quantization makes the bucket pop in the heap's (priority, id)
+// order, so the whole relaxation sequence coincides.
+func TestFrontierBucketTreesBitIdentical(t *testing.T) {
+	for seed := uint64(1); seed <= 8; seed++ {
+		g := quantizedGraph(t, 48, seed)
+		auto := NewWorkspace(g.N())
+		bin := NewWorkspace(g.N())
+		bin.SetFrontier(FrontierBinary)
+		for src := 0; src < g.N(); src++ {
+			ta := cloneTree(auto.NodeDijkstra(g, src, nil))
+			tb := bin.NodeDijkstra(g, src, nil)
+			if !reflect.DeepEqual(ta, cloneTree(tb)) {
+				t.Fatalf("seed %d src %d: bucket tree differs from binary tree", seed, src)
+			}
+		}
+	}
+}
+
+// TestFrontierBucketWithBans covers the replacement-path shape: banned
+// interior nodes must not perturb the equivalence (bans change which
+// relaxations happen, not the regime).
+func TestFrontierBucketWithBans(t *testing.T) {
+	g := quantizedGraph(t, 40, 7)
+	auto := NewWorkspace(g.N())
+	bin := NewWorkspace(g.N())
+	bin.SetFrontier(FrontierBinary)
+	banned := make([]bool, g.N())
+	for b := 1; b < g.N(); b += 3 {
+		banned[b] = true
+		ta := cloneTree(auto.NodeDijkstra(g, 0, banned))
+		tb := bin.NodeDijkstra(g, 0, banned)
+		if !reflect.DeepEqual(ta, cloneTree(tb)) {
+			t.Fatalf("ban %d: bucket tree differs from binary tree", b)
+		}
+		banned[b] = false
+	}
+}
+
+// TestFrontierFallbackMidStream interleaves runs on a quantized and a
+// continuous-cost graph through one workspace, so the same run loop
+// alternates between bucket and heap with rollback state carried
+// across — the exact sequence a pooled solver workspace sees.
+func TestFrontierFallbackMidStream(t *testing.T) {
+	qg := quantizedGraph(t, 32, 3)
+	costs := make([]float64, qg.N())
+	rng := rand.New(rand.NewPCG(9, 9))
+	for v := range costs {
+		costs[v] = rng.Float64() // continuous: no regime
+	}
+	cg := qg.WithCosts(costs) // same topology, continuous costs
+	w := NewWorkspace(qg.N())
+	bin := NewWorkspace(qg.N())
+	bin.SetFrontier(FrontierBinary)
+	for src := 0; src < qg.N(); src += 3 {
+		tq := cloneTree(w.NodeDijkstra(qg, src, nil))
+		if !reflect.DeepEqual(tq, cloneTree(bin.NodeDijkstra(qg, src, nil))) {
+			t.Fatalf("src %d: quantized run differs after fallback interleave", src)
+		}
+		tc := cloneTree(w.NodeDijkstra(cg, src, nil))
+		if !reflect.DeepEqual(tc, cloneTree(bin.NodeDijkstra(cg, src, nil))) {
+			t.Fatalf("src %d: continuous run differs after bucket interleave", src)
+		}
+	}
+}

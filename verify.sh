@@ -102,12 +102,23 @@ stage_race() (
 )
 
 stage_bench() (
-    # Bench report: regenerate BENCH_payments.json (ns/op, B/op,
-    # allocs/op for the payment, Dijkstra and protocol benchmarks) so
-    # allocation regressions show up as artifact diffs. BENCHTIME=1x
-    # makes the step cheap when only the alloc columns matter.
+    # ns/op regression gate: the bucket-frontier Dijkstra and the
+    # fast-engine payment path are held to within 15% of the committed
+    # BENCH_payments.json baseline. -count=3 with benchreport's
+    # min-of-runs collapse absorbs scheduler noise; exit code 3 means
+    # a real regression. GATETIME trades gate fidelity for speed.
     set -x
-    go run ./cmd/benchreport -benchtime "${BENCHTIME:-1x}" -out BENCH_payments.json
+    go run ./cmd/benchreport -pkg . \
+        -bench 'BenchmarkDijkstraBucket$|BenchmarkPaymentFast' \
+        -benchtime "${GATETIME:-0.3s}" -count 3 \
+        -out /tmp/bench_gate.json -baseline BENCH_payments.json
+    # Artifact regen: ns/op, B/op, allocs/op for the whole contracted
+    # suite, so allocation regressions show up as artifact diffs. The
+    # default 0.3s benchtime keeps the committed artifact's ns/op
+    # columns warm, gate-comparable measurements (the gate above reads
+    # them as its baseline); BENCHTIME=1x is the cheap escape hatch
+    # when only the alloc columns matter.
+    go run ./cmd/benchreport -benchtime "${BENCHTIME:-0.3s}" -out BENCH_payments.json
 )
 
 stage_serve() {
