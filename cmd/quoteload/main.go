@@ -5,6 +5,11 @@
 // Usage:
 //
 //	quoteload -addr 127.0.0.1:8437 -workers 8 -requests 10000 [-qps 500]
+//	quoteload -proto binary -addr 127.0.0.1:8438 -workers 8 -pipeline 32 -duration 5s
+//
+// -proto http (default) drives GET /quote; -proto binary drives the
+// framed TCP protocol (DESIGN.md §15) with one reused connection per
+// worker and -pipeline requests kept in flight on each.
 //
 // With -bench NAME it also prints a `go test -bench`-format line so
 // the run folds into the BENCH_payments.json pipeline:

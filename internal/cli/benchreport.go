@@ -53,14 +53,17 @@ type BenchReport struct {
 // a Benchmark* function in the repo neither matches this pattern nor
 // appears in its reasoned exclusion list, so additions here and there
 // stay in lockstep.
-const DefaultBenchPattern = "BenchmarkPayment|BenchmarkDijkstra|BenchmarkDeltaStepping|BenchmarkReplacement|BenchmarkAllSources|BenchmarkDistributedProtocol|BenchmarkProtocolUnder|BenchmarkEdgePayment|BenchmarkServe"
+const DefaultBenchPattern = "BenchmarkPayment|BenchmarkDijkstra|BenchmarkDeltaStepping|BenchmarkReplacement|BenchmarkAllSources|BenchmarkDistributedProtocol|BenchmarkProtocolUnder|BenchmarkEdgePayment|BenchmarkServe|BenchmarkServeBinaryQuote"
 
 // DefaultGatePattern selects the benchmarks the -baseline regression
-// gate holds to the -regress bound: the bucket-frontier Dijkstra and
-// the fast-engine payment path, the two hot loops this repo's
-// performance contract is written against. Deliberately narrow —
-// protocol and figure benchmarks are too noisy for a hard ns/op gate.
-const DefaultGatePattern = "^BenchmarkDijkstraBucket$|^BenchmarkPaymentFast"
+// gate holds to the -regress bound: the bucket-frontier Dijkstra, the
+// fast-engine payment path, and the socket-free binary frame path —
+// the hot loops this repo's performance contract is written against.
+// Deliberately narrow — protocol, figure, and socket-bound benchmarks
+// are too noisy for a hard ns/op gate (BenchmarkServeBinaryQuoteFrame
+// gates the binary plane precisely because it excludes the kernel and
+// goroutine handoff).
+const DefaultGatePattern = "^BenchmarkDijkstraBucket$|^BenchmarkPaymentFast|^BenchmarkServeBinaryQuoteFrame$"
 
 // RunBenchReport runs the payment/Dijkstra/protocol benchmark suite
 // under -benchmem and writes the parsed results as JSON — the harness

@@ -25,8 +25,10 @@ func RunTruthrouted(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("truthrouted", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	topo := fs.String("topology", "", "NodeGraph JSON file to serve (required; netgen -model node emits it)")
-	addr := fs.String("addr", "127.0.0.1:8437", "listen address (port 0 picks a free port)")
-	addrFile := fs.String("addr-file", "", "write the bound address to this file once listening (for scripts with port 0)")
+	addr := fs.String("addr", "127.0.0.1:8437", "HTTP listen address (port 0 picks a free port)")
+	addrFile := fs.String("addr-file", "", "write the bound HTTP address to this file once listening (for scripts with port 0)")
+	binAddr := fs.String("binary-addr", "", "also serve the binary quote protocol (DESIGN.md §15) on this TCP address (empty = HTTP only)")
+	binAddrFile := fs.String("binary-addr-file", "", "write the bound binary address to this file once listening")
 	engine := fs.String("engine", "fast", "default replacement-path engine: fast or naive")
 	maxInflight := fs.Int("max-inflight", serve.DefaultMaxInFlight, "admitted in-flight request bound; excess load is refused with 429")
 	warm := fs.Int("warm", 0, "solver workspaces pre-warmed per shard (0 = GOMAXPROCS)")
@@ -88,6 +90,31 @@ func RunTruthrouted(args []string, stdout, stderr io.Writer) int {
 	errc := make(chan error, 1)
 	go func() { errc <- hs.Serve(ln) }()
 
+	// The binary plane listens next to HTTP: same server, same
+	// snapshots, same drain. berrc stays nil (never ready) when the
+	// binary listener is disabled.
+	var berrc chan error
+	if *binAddr != "" {
+		bln, err := net.Listen("tcp", *binAddr)
+		if err != nil {
+			fmt.Fprintln(stderr, "truthrouted:", err)
+			_ = ln.Close()
+			return 1
+		}
+		bbound := bln.Addr().String()
+		if *binAddrFile != "" {
+			if err := os.WriteFile(*binAddrFile, []byte(bbound+"\n"), 0o644); err != nil {
+				fmt.Fprintln(stderr, "truthrouted:", err)
+				_ = ln.Close()
+				_ = bln.Close()
+				return 1
+			}
+		}
+		fmt.Fprintf(stdout, "truthrouted: binary quote protocol on %s\n", bbound)
+		berrc = make(chan error, 1)
+		go func() { berrc <- srv.ServeBinary(bln) }()
+	}
+
 	select {
 	case sig := <-stop:
 		fmt.Fprintf(stdout, "truthrouted: %v: draining\n", sig)
@@ -97,10 +124,21 @@ func RunTruthrouted(args []string, stdout, stderr io.Writer) int {
 			return 1
 		}
 		<-errc // Serve has returned ErrServerClosed
+		if berrc != nil {
+			// Drain closed the binary listener; ServeBinary reports
+			// ErrServerDraining for the clean path.
+			if err := <-berrc; err != nil && err != serve.ErrServerDraining {
+				fmt.Fprintln(stderr, "truthrouted: binary serve:", err)
+				return 1
+			}
+		}
 		fmt.Fprintln(stdout, "truthrouted: drained")
 		return 0
 	case err := <-errc:
 		fmt.Fprintln(stderr, "truthrouted: serve:", err)
+		return 1
+	case err := <-berrc:
+		fmt.Fprintln(stderr, "truthrouted: binary serve:", err)
 		return 1
 	}
 }

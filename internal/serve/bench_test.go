@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"math/rand/v2"
+	"net"
 	"net/http"
 	"net/http/httptest"
 	"testing"
@@ -114,6 +115,80 @@ func BenchmarkServeQuoteLoad(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	res, err := RunLoad(do, LoadOptions{N: n, Workers: 4, Requests: b.N, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.StopTimer()
+	if res.Errors > 0 {
+		b.Fatalf("%d load errors", res.Errors)
+	}
+	b.ReportMetric(float64(res.Percentile(50).Nanoseconds()), "p50-ns")
+	b.ReportMetric(float64(res.Percentile(95).Nanoseconds()), "p95-ns")
+	b.ReportMetric(float64(res.Percentile(99).Nanoseconds()), "p99-ns")
+	b.ReportMetric(res.QPS(), "qps")
+}
+
+// BenchmarkServeBinaryQuoteFrame is the socket-free binary hot path
+// and the regression gate for it: admission, snapshot load, frame
+// cache hit, response enqueue — everything the server does per warm
+// binary quote except the kernel. Deliberately no sockets or
+// goroutine handoff, so the number is stable enough to gate on.
+func BenchmarkServeBinaryQuoteFrame(b *testing.B) {
+	s := benchServer(b, 64)
+	out := make(chan binFrame, 1)
+	req := BinaryRequest{Src: 0, Dst: 40}
+	if s.handleBinaryQuote(out, 1, &req); (<-out).kind != KindQuoteResp {
+		b.Fatal("warmup refused")
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.handleBinaryQuote(out, uint32(i), &req)
+		if f := <-out; f.kind != KindQuoteResp {
+			b.Fatalf("kind %#02x", f.kind)
+		}
+	}
+}
+
+// BenchmarkServeBinaryQuoteCached is the binary twin of
+// BenchmarkServeQuoteCached: one warm unpipelined quote round trip
+// over an in-memory connection, including both per-connection loops
+// and the frame codec.
+func BenchmarkServeBinaryQuoteCached(b *testing.B) {
+	s := benchServer(b, 64)
+	c := pipeClient(b, s)
+	req := BinaryRequest{Src: 0, Dst: 40}
+	if res, err := c.Quote(&req); err != nil || res.Kind != KindQuoteResp {
+		b.Fatalf("warmup: kind %#02x err %v", res.Kind, err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := c.Quote(&req)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Kind != KindQuoteResp {
+			b.Fatalf("kind %#02x", res.Kind)
+		}
+	}
+}
+
+// BenchmarkServeBinaryQuoteLoad drives the binary plane through the
+// pipelined load harness over in-memory connections — the number
+// quoted next to BenchmarkServeQuoteLoad when comparing transports in
+// EXPERIMENTS.md.
+func BenchmarkServeBinaryQuoteLoad(b *testing.B) {
+	const n = 64
+	s := benchServer(b, n)
+	dial := func() (*BinaryClient, error) {
+		cEnd, sEnd := net.Pipe()
+		go s.serveConn(sEnd)
+		return NewBinaryClient(cEnd), nil
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	res, err := RunLoadBinary(dial, LoadOptions{N: n, Workers: 4, Requests: b.N, Seed: 1, Pipeline: 128})
 	if err != nil {
 		b.Fatal(err)
 	}

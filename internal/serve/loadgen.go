@@ -44,6 +44,12 @@ type LoadOptions struct {
 	Seed uint64
 	// Engine optionally pins ?engine= on generated requests.
 	Engine string
+	// Pipeline is the per-worker in-flight window for RunLoadBinary:
+	// each worker keeps up to Pipeline requests outstanding on its
+	// connection before blocking on a response. 1 (and 0) degenerate
+	// to the closed loop RunLoad runs; RunLoad itself ignores the
+	// field because HTTP/1.1 has no response-stream pipelining.
+	Pipeline int
 }
 
 // LoadResult aggregates one load run. Latency percentiles cover
@@ -194,6 +200,179 @@ func RunLoad(do func(src, dst int) (int, error), opt LoadOptions) (*LoadResult, 
 				default:
 					st.errs++
 				}
+			}
+		}(wk, budget)
+	}
+	wg.Wait()
+	res := &LoadResult{Elapsed: now().Sub(start)}
+	for i := range stats {
+		st := &stats[i]
+		res.Requests += st.requests
+		res.OK += st.ok
+		res.NoPath += st.noPath
+		res.Rejected += st.rejected
+		res.Errors += st.errs
+		res.latencies = append(res.latencies, st.latencies...)
+	}
+	return res, nil
+}
+
+// RunLoadBinary drives the binary quote protocol with opt.Workers
+// workers, each owning one connection from dial for its whole run
+// (connection reuse) and keeping up to opt.Pipeline requests in
+// flight on it (pipelining). Latency is measured send-to-receive per
+// request, so at depth > 1 it includes pipeline queueing — the
+// number a real pipelining client experiences. Accounting matches
+// RunLoad: quote responses and no-path refusals are answered
+// requests with latencies, overload refusals are backpressure, and
+// transport failures (including responses lost to a dead connection)
+// are errors.
+func RunLoadBinary(dial func() (*BinaryClient, error), opt LoadOptions) (*LoadResult, error) {
+	if opt.N < 2 {
+		return nil, fmt.Errorf("serve: load needs at least 2 nodes, have %d", opt.N)
+	}
+	if opt.Requests <= 0 && opt.Duration <= 0 {
+		return nil, fmt.Errorf("serve: load needs a request or duration budget")
+	}
+	workers := opt.Workers
+	if workers <= 0 {
+		workers = 4
+	}
+	if opt.Requests > 0 && workers > opt.Requests {
+		workers = opt.Requests
+	}
+	depth := opt.Pipeline
+	if depth <= 0 {
+		depth = 1
+	}
+	var engByte uint8
+	switch opt.Engine {
+	case "":
+		engByte = EngineDefault
+	case "fast":
+		engByte = EngineFastByte
+	case "naive":
+		engByte = EngineNaiveByte
+	default:
+		return nil, fmt.Errorf("serve: load engine must be fast or naive, have %q", opt.Engine)
+	}
+	var tick time.Duration
+	if opt.QPS > 0 {
+		tick = time.Duration(float64(workers) / opt.QPS * float64(time.Second))
+	}
+	start := now()
+	var deadline time.Time
+	if opt.Duration > 0 {
+		deadline = start.Add(opt.Duration)
+	}
+	stats := make([]workerStats, workers)
+	var wg sync.WaitGroup
+	for wk := 0; wk < workers; wk++ {
+		budget := 0
+		if opt.Requests > 0 {
+			budget = opt.Requests / workers
+			if wk < opt.Requests%workers {
+				budget++
+			}
+		}
+		wg.Add(1)
+		go func(wk, budget int) {
+			defer wg.Done()
+			st := &stats[wk]
+			c, err := dial()
+			if err != nil {
+				st.errs++
+				return
+			}
+			defer func() { _ = c.Close() }()
+			rng := rand.New(rand.NewPCG(opt.Seed, uint64(wk)+1))
+			type pending struct {
+				id uint32
+				t  time.Time
+			}
+			window := make([]pending, 0, depth)
+			nextID := uint32(1)
+			issued := 0
+			// Phase-spread paced workers exactly like RunLoad.
+			next := start.Add(tick * time.Duration(wk) / time.Duration(workers))
+			dead := false
+			for {
+				for !dead && len(window) < depth {
+					if budget > 0 && issued >= budget {
+						break
+					}
+					if !deadline.IsZero() && !now().Before(deadline) {
+						break
+					}
+					if tick > 0 {
+						if d := next.Sub(now()); d > 0 {
+							time.Sleep(d)
+						}
+						next = next.Add(tick)
+					}
+					src := rng.IntN(opt.N)
+					dst := rng.IntN(opt.N - 1)
+					if dst >= src {
+						dst++
+					}
+					req := BinaryRequest{Src: uint32(src), Dst: uint32(dst), Engine: engByte}
+					issued++
+					st.requests++
+					if err := c.Send(nextID, &req); err != nil {
+						st.errs++
+						dead = true
+						break
+					}
+					window = append(window, pending{id: nextID, t: now()})
+					nextID++
+				}
+				if len(window) == 0 {
+					return
+				}
+				// Receive in bursts: while more sends remain, drain only
+				// to half depth before refilling, so each flush (Recv
+				// flushes pending sends) carries ~depth/2 requests
+				// instead of the one a lock-step loop would send. When
+				// the budget is spent, drain the window completely.
+				low := 0
+				if !dead && (budget == 0 || issued < budget) &&
+					(deadline.IsZero() || now().Before(deadline)) {
+					low = depth / 2
+				}
+				// head indexes the oldest unanswered request; the
+				// consumed prefix is compacted once per burst instead of
+				// memmoving the window on every response.
+				head := 0
+				for len(window)-head > low {
+					res, err := c.Recv()
+					if err != nil {
+						// The connection died with the rest of the window
+						// owed; every unanswered request is a failure.
+						st.errs += len(window) - head
+						return
+					}
+					p := window[head]
+					head++
+					d := now().Sub(p.t)
+					switch {
+					case res.ReqID != p.id:
+						// A desynchronized stream cannot attribute any
+						// further response; bail like a transport error.
+						st.errs += 1 + len(window) - head
+						return
+					case res.Kind == KindQuoteResp:
+						st.ok++
+						st.latencies = append(st.latencies, d)
+					case res.Kind == KindError && res.Err.Code == ErrCodeNoPath:
+						st.noPath++
+						st.latencies = append(st.latencies, d)
+					case res.Kind == KindError && res.Err.Code == ErrCodeOverloaded:
+						st.rejected++
+					default:
+						st.errs++
+					}
+				}
+				window = append(window[:0], window[head:]...)
 			}
 		}(wk, budget)
 	}

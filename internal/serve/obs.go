@@ -38,4 +38,33 @@ var (
 	// obsLatencyNS is the server-side quote latency (parse to
 	// response written).
 	obsLatencyNS = obs.NewHistogram("serve.quote_latency_ns", obs.LatencyBuckets())
+
+	// Binary plane (binary.go). Counters are split per protocol so
+	// a mixed deployment can attribute load: serve.* above is the
+	// HTTP/JSON surface, serve.binary.* the framed TCP surface.
+	//
+	// obsBinConns counts accepted connections; obsBinFramesIn/Out
+	// the frames parsed and written across all of them.
+	obsBinConns     = obs.NewCounter("serve.binary.conns_accepted")
+	obsBinFramesIn  = obs.NewCounter("serve.binary.frames_in")
+	obsBinFramesOut = obs.NewCounter("serve.binary.frames_out")
+	// obsBinQuotesServed counts KindQuoteResp frames — the binary
+	// twin of serve.quotes_served; obsBinBadRequests the
+	// ErrCodeBadRequest refusals; obsBinEpochMismatch the pinned-epoch
+	// refusals; obsBinProtoErrors the framing violations that
+	// dropped a connection.
+	obsBinQuotesServed  = obs.NewCounter("serve.binary.quotes_served")
+	obsBinBadRequests   = obs.NewCounter("serve.binary.bad_requests")
+	obsBinEpochMismatch = obs.NewCounter("serve.binary.epoch_mismatch")
+	obsBinProtoErrors   = obs.NewCounter("serve.binary.proto_errors")
+	// obsBinCacheHits/Misses split binary quote lookups by whether
+	// the snapshot's pre-serialized payload memo already held the
+	// frame bytes — the binary twin of serve.quote_cache_hits.
+	obsBinCacheHits   = obs.NewCounter("serve.binary.frame_cache_hits")
+	obsBinCacheMisses = obs.NewCounter("serve.binary.frame_cache_misses")
+
+	// obsBinLatencyNS is the server-side binary quote latency
+	// (request decoded to response frame queued), the per-protocol
+	// histogram next to serve.quote_latency_ns.
+	obsBinLatencyNS = obs.NewHistogram("serve.binary.quote_latency_ns", obs.LatencyBuckets())
 )

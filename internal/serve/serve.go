@@ -25,6 +25,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"net"
 	"net/http"
 	"runtime"
 	"strconv"
@@ -74,6 +75,13 @@ type Server struct {
 	wg        sync.WaitGroup // admitted requests in flight
 	drainOnce sync.Once
 	mux       *http.ServeMux
+
+	// Binary-plane registries (binary.go): listeners ServeBinary is
+	// accepting on and the connections it has handed to serveConn,
+	// both closed at the tail of Drain.
+	mu     sync.Mutex
+	binLns []net.Listener
+	conns  map[net.Conn]struct{}
 }
 
 // New builds a server for the topology and declared costs of g. The
@@ -93,6 +101,7 @@ func New(g *graph.NodeGraph, cfg Config) *Server {
 		shardOf:  make([]int32, n),
 		local:    make([]int32, n),
 		inflight: make(chan struct{}, cfg.MaxInFlight),
+		conns:    make(map[net.Conn]struct{}),
 	}
 	for i, comp := range g.Components() {
 		for li, v := range comp {
@@ -149,16 +158,34 @@ func (s *Server) Costs() []float64 {
 	return out
 }
 
-// Drain stops admitting quote and update traffic (new requests get
-// 503), waits for every in-flight request to finish, then stops the
-// shard writers. Idempotent; concurrent callers block until the
-// first drain completes.
+// Drain stops admitting quote and update traffic (new HTTP requests
+// get 503, new binary frames get ErrCodeDraining), waits for every
+// in-flight request to finish, then stops the shard writers, closes
+// the binary listeners (ServeBinary returns ErrServerDraining) and
+// finally closes lingering binary connections — an active one has
+// already answered its last admitted frame by the time wg.Wait
+// returned. Idempotent; concurrent callers block until the first
+// drain completes.
 func (s *Server) Drain() {
 	s.drainOnce.Do(func() {
 		s.draining.Store(true)
 		s.wg.Wait()
 		for _, sh := range s.shards {
 			sh.stop()
+		}
+		s.mu.Lock()
+		lns := s.binLns
+		conns := make([]net.Conn, 0, len(s.conns))
+		//lint:allow determinism close order across drained connections is immaterial; every socket gets closed
+		for c := range s.conns {
+			conns = append(conns, c)
+		}
+		s.mu.Unlock()
+		for _, ln := range lns {
+			_ = ln.Close()
+		}
+		for _, c := range conns {
+			_ = c.Close()
 		}
 		obsDrains.Inc()
 	})

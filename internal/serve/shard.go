@@ -53,11 +53,15 @@ type snapshot struct {
 }
 
 // sourceCache holds one source's lazily built state for the lifetime
-// of a snapshot: its least-cost-path tree and the fully marshalled
-// quotes already served from it.
+// of a snapshot: its least-cost-path tree, the fully marshalled
+// quotes already served from it, and the pre-serialized binary
+// KindQuoteResp payloads built from those same quote bytes. Both
+// memos die with the snapshot, so the binary plane inherits the
+// epoch-flip invalidation story wholesale.
 type sourceCache struct {
 	tree   atomic.Pointer[sp.Tree]
 	quotes sync.Map // int64 key engine<<32|target -> []byte quote JSON
+	frames sync.Map // int64 key engine<<32|target -> []byte binary quote payload
 }
 
 func newSnapshot(epoch uint64, g *graph.NodeGraph) *snapshot {
@@ -181,6 +185,54 @@ func (sh *shard) quoteMiss(snap *snapshot, sc *sourceCache, ls, lt int, engine c
 		return v.([]byte), nil
 	}
 	return body, nil
+}
+
+// framePayload serves the pre-serialized KindQuoteResp payload —
+// shard id, epoch, then the exact quote JSON bytes the HTTP path
+// serves — for (ls, lt) on snap, memoized per (engine, source,
+// target) for the snapshot's lifetime. This is the binary plane's
+// whole steady state: the hit path is one sync.Map probe, and the
+// caller's only remaining work is a frame-header fill and one copy
+// of these bytes into the connection's write buffer. No marshalling
+// of any kind happens per request.
+//
+//lint:noalloc the epoch-cached binary read path: a warm hit must serve payload bytes without touching the heap
+func (sh *shard) framePayload(snap *snapshot, ls, lt int, engine core.Engine) ([]byte, error) {
+	sc := &snap.src[ls]
+	key := int64(engine)<<32 | int64(lt)
+	if v, ok := sc.frames.Load(key); ok {
+		obsBinCacheHits.Inc()
+		return v.([]byte), nil
+	}
+	return sh.framePayloadMiss(snap, sc, ls, lt, engine, key)
+}
+
+// framePayloadMiss assembles the binary payload on the first binary
+// request for a key, reusing (or filling) the JSON quote memo so the
+// quote bytes inside the binary payload alias the HTTP path's
+// allocation. Outlined from framePayload like quoteMiss: the
+// once-per-key-per-epoch assembly allocates by design and must stay
+// off the annotated hit path.
+//
+//go:noinline
+func (sh *shard) framePayloadMiss(snap *snapshot, sc *sourceCache, ls, lt int, engine core.Engine, key int64) ([]byte, error) {
+	obsBinCacheMisses.Inc()
+	body, err := sh.quote(snap, ls, lt, engine)
+	if err != nil {
+		return nil, err
+	}
+	payload := make([]byte, 0, binaryQuoteHeadLen+len(body))
+	payload = EncodeBinaryQuote(payload, &BinaryQuote{
+		Shard: uint32(sh.id),
+		Epoch: snap.epoch,
+		Quote: body,
+	})
+	if v, loaded := sc.frames.LoadOrStore(key, payload); loaded {
+		// A concurrent filler won the store; serve its copy so every
+		// response for this key aliases one allocation.
+		return v.([]byte), nil
+	}
+	return payload, nil
 }
 
 // computeQuote runs the mechanism on the snapshot and marshals the
